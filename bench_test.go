@@ -1,0 +1,427 @@
+// Package etlopt's root benchmark harness regenerates every table and
+// figure of the paper's evaluation (§4.2) as testing.B benchmarks, plus
+// the ablation studies called out in DESIGN.md:
+//
+//	BenchmarkFig1Scenario/*    — the Fig. 1 → Fig. 2 motivating example
+//	BenchmarkFig4/*            — the Fig. 4 cost cases (DIS and FAC wins)
+//	BenchmarkTable1and2/*      — Tables 1 and 2 per category & algorithm
+//	                             (quality %, improvement %, visited states)
+//	BenchmarkAblation*         — dedup, incremental costing, Phase I, merge
+//	BenchmarkEngineModes/*     — materialized vs pipelined execution
+//	BenchmarkTransitionOps/*   — per-transition micro-costs
+//
+// Absolute times are hardware-bound; the paper-facing outputs are the
+// custom metrics (improvement%, quality%, states) reported per benchmark.
+package etlopt
+
+import (
+	"fmt"
+	"testing"
+
+	"etlopt/internal/core"
+	"etlopt/internal/cost"
+	"etlopt/internal/engine"
+	"etlopt/internal/generator"
+	"etlopt/internal/templates"
+	"etlopt/internal/transitions"
+	"etlopt/internal/workflow"
+)
+
+// BenchmarkFig1Scenario optimizes the paper's motivating workflow with
+// each algorithm. All three find the Fig. 2 optimum; the metric of
+// interest is the visited-state count and time per algorithm.
+func BenchmarkFig1Scenario(b *testing.B) {
+	algos := map[string]func(*workflow.Graph, core.Options) (*core.Result, error){
+		"ES":       core.Exhaustive,
+		"HS":       core.Heuristic,
+		"HSGreedy": core.HSGreedy,
+	}
+	for name, algo := range algos {
+		b.Run(name, func(b *testing.B) {
+			g := templates.Fig1Workflow()
+			var res *core.Result
+			var err error
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err = algo(g, core.Options{MaxStates: 20_000, IncrementalCost: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.Improvement(), "improvement%")
+			b.ReportMetric(float64(res.Visited), "states")
+		})
+	}
+}
+
+// BenchmarkFig4 evaluates the three Fig. 4 placements under the row model;
+// the reported costs reproduce the figure's ordering (original > factorized
+// > distributed under the full model; the paper's arithmetic is asserted
+// exactly in the cost package's tests).
+func BenchmarkFig4(b *testing.B) {
+	cases := map[string]templates.Fig4Case{
+		"Original":    templates.Fig4Original,
+		"Distributed": templates.Fig4Distributed,
+		"Factorized":  templates.Fig4Factorized,
+	}
+	for name, c := range cases {
+		b.Run(name, func(b *testing.B) {
+			g := templates.Fig4Workflow(c, 8)
+			var total float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				costing, err := cost.Evaluate(g, cost.RowModel{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				total = costing.Total
+			}
+			b.ReportMetric(total, "state-cost")
+		})
+	}
+}
+
+// benchCategory runs one representative workflow of a category through all
+// three algorithms and reports the Table 1 / Table 2 metrics. Budgets are
+// scaled down from the full suite (use cmd/etlbench for the 40-workflow
+// reproduction); the orderings the paper reports — ES states ≫ HS ≫ HSG,
+// HS quality ≥ HSG — hold at this scale too.
+func benchCategory(b *testing.B, cat generator.Category, esBudget, hsBudget int) {
+	sc, err := generator.Generate(generator.CategoryConfig(cat, 20050405))
+	if err != nil {
+		b.Fatal(err)
+	}
+	type algo struct {
+		name string
+		run  func(*workflow.Graph, core.Options) (*core.Result, error)
+		opts core.Options
+	}
+	algos := []algo{
+		{"ES", core.Exhaustive, core.Options{MaxStates: esBudget, IncrementalCost: true}},
+		{"HS", core.Heuristic, core.Options{MaxStates: hsBudget, IncrementalCost: true}},
+		{"HSGreedy", core.HSGreedy, core.Options{MaxStates: hsBudget, IncrementalCost: true}},
+	}
+	var esImprovement float64
+	for _, a := range algos {
+		a := a
+		b.Run(a.name, func(b *testing.B) {
+			var res *core.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = a.run(sc.Graph, a.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if a.name == "ES" {
+				esImprovement = res.Improvement()
+			}
+			b.ReportMetric(res.Improvement(), "improvement%")
+			b.ReportMetric(float64(res.Visited), "states")
+			if a.name != "ES" && esImprovement > 0 {
+				b.ReportMetric(100*res.Improvement()/esImprovement, "quality%")
+			}
+		})
+	}
+}
+
+// BenchmarkTable1and2 regenerates the per-category measurements behind
+// Tables 1 and 2.
+func BenchmarkTable1and2(b *testing.B) {
+	b.Run("small", func(b *testing.B) { benchCategory(b, generator.Small, 20_000, 6_000) })
+	b.Run("medium", func(b *testing.B) { benchCategory(b, generator.Medium, 20_000, 8_000) })
+	b.Run("large", func(b *testing.B) { benchCategory(b, generator.Large, 20_000, 10_000) })
+}
+
+// BenchmarkAblationDedup measures A1: signature-based duplicate detection
+// versus none, on a budgeted ES over the Fig. 1 workflow. Without dedup the
+// same states are regenerated and re-costed.
+func BenchmarkAblationDedup(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"WithDedup", false}, {"NoDedup", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			g := templates.Fig1Workflow()
+			var res *core.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = core.Exhaustive(g, core.Options{
+					MaxStates: 5_000, IncrementalCost: true, DisableDedup: mode.disable,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Generated), "generated")
+			b.ReportMetric(boolMetric(res.Terminated), "terminated")
+		})
+	}
+}
+
+func boolMetric(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// BenchmarkAblationIncrementalCost measures A2: the §4.1 semi-incremental
+// cost evaluation versus full recomputation, over the same HS run.
+func BenchmarkAblationIncrementalCost(b *testing.B) {
+	sc, err := generator.Generate(generator.CategoryConfig(generator.Medium, 31))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name string
+		inc  bool
+	}{{"Incremental", true}, {"Full", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Heuristic(sc.Graph, core.Options{
+					MaxStates: 4_000, IncrementalCost: mode.inc,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPhaseI measures A3: HS with and without Phase I (the
+// paper argues the phase pays for itself despite Phase IV's repetition).
+func BenchmarkAblationPhaseI(b *testing.B) {
+	sc, err := generator.Generate(generator.CategoryConfig(generator.Medium, 32))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"WithPhaseI", false}, {"NoPhaseI", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var res *core.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = core.Heuristic(sc.Graph, core.Options{
+					MaxStates: 6_000, IncrementalCost: true, DisablePhaseI: mode.disable,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.Improvement(), "improvement%")
+		})
+	}
+}
+
+// BenchmarkAblationMerge measures A4: merge constraints (Heuristic 3)
+// proactively shrink the search space.
+func BenchmarkAblationMerge(b *testing.B) {
+	g := templates.Fig1Workflow()
+	// Merge $2€ with A2E in branch 2.
+	var d2e, a2e workflow.NodeID
+	for _, id := range g.Activities() {
+		a := g.Node(id).Act
+		if a.Sem.Op == workflow.OpFunc && a.Sem.DropArgs {
+			d2e = id
+		}
+		if a.Sem.Op == workflow.OpFunc && a.InPlace() {
+			a2e = id
+		}
+	}
+	for _, mode := range []struct {
+		name  string
+		pairs [][2]workflow.NodeID
+	}{
+		{"NoConstraints", nil},
+		{"MergeConstrained", [][2]workflow.NodeID{{d2e, a2e}}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var res *core.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = core.Heuristic(g, core.Options{
+					IncrementalCost: true, MergeConstraints: mode.pairs,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Visited), "states")
+			b.ReportMetric(res.Improvement(), "improvement%")
+		})
+	}
+}
+
+// BenchmarkEngineModes measures A5: materialized versus pipelined
+// execution of the same optimized workflow.
+func BenchmarkEngineModes(b *testing.B) {
+	cfg := generator.CategoryConfig(generator.Medium, 33)
+	cfg.DataRows = 2000
+	sc, err := generator.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bindings := sc.Bind()
+	for _, mode := range []struct {
+		name string
+		m    engine.Mode
+	}{{"Materialized", engine.Materialized}, {"Pipelined", engine.Pipelined}} {
+		b.Run(mode.name, func(b *testing.B) {
+			e := engine.New(bindings, engine.WithMode(mode.m), engine.WithBatchSize(256))
+			var rows int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := e.Run(sc.Graph)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, t := range res.Targets {
+					rows = len(t)
+				}
+			}
+			b.ReportMetric(float64(rows), "target-rows")
+		})
+	}
+}
+
+// BenchmarkTransitionOps measures the per-transition cost of the rewrite
+// machinery itself (clone + rewire + incremental schema regeneration +
+// checks) — the inner loop of every search.
+func BenchmarkTransitionOps(b *testing.B) {
+	sc, err := generator.Generate(generator.CategoryConfig(generator.Medium, 34))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := sc.Graph
+
+	var swapPair [2]workflow.NodeID
+	for _, grp := range g.LocalGroups() {
+		for i := 0; i+1 < len(grp); i++ {
+			if _, err := transitions.Swap(g, grp[i], grp[i+1]); err == nil {
+				swapPair = [2]workflow.NodeID{grp[i], grp[i+1]}
+			}
+		}
+	}
+	b.Run("Swap", func(b *testing.B) {
+		if swapPair[0] == 0 {
+			b.Skip("no legal swap")
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := transitions.Swap(g, swapPair[0], swapPair[1]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	var da workflow.DistributableActivity
+	for _, d := range g.FindDistributableActivities() {
+		if len(g.Providers(d.Activity)) == 1 && g.Providers(d.Activity)[0] == d.Binary {
+			da = d
+		}
+	}
+	b.Run("Distribute", func(b *testing.B) {
+		if da.Activity == 0 {
+			b.Skip("no adjacent distributable activity")
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := transitions.Distribute(g, da.Binary, da.Activity); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("Signature", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if g.Signature() == "" {
+				b.Fatal("empty signature")
+			}
+		}
+	})
+
+	b.Run("CostFull", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cost.Evaluate(g, cost.RowModel{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	base, err := cost.Evaluate(g, cost.RowModel{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("CostIncremental", func(b *testing.B) {
+		if swapPair[0] == 0 {
+			b.Skip("no legal swap")
+		}
+		res, err := transitions.Swap(g, swapPair[0], swapPair[1])
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cost.EvaluateIncremental(base, res.Graph, cost.RowModel{}, res.Dirty); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("Clone", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if g.Clone().Len() != g.Len() {
+				b.Fatal("clone lost nodes")
+			}
+		}
+	})
+}
+
+// BenchmarkSignatureScaling reports signature cost by workflow size.
+func BenchmarkSignatureScaling(b *testing.B) {
+	for _, cat := range []generator.Category{generator.Small, generator.Medium, generator.Large} {
+		sc, err := generator.Generate(generator.CategoryConfig(cat, 35))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("%s-%dacts", cat, len(sc.Graph.Activities())), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = sc.Graph.Signature()
+			}
+		})
+	}
+}
+
+// BenchmarkPhysicalVsLogical optimizes the same workflow under the
+// logical row model and under the physical model (hash/sort operator
+// choice, cached lookups, I/O-aware spills) — the §6 "physical
+// optimization" direction. Plans may differ: under the physical model,
+// keeping flows below the hash-memory threshold pays, while n·log₂n
+// blocking costs vanish for in-memory inputs.
+func BenchmarkPhysicalVsLogical(b *testing.B) {
+	sc, err := generator.Generate(generator.CategoryConfig(generator.Medium, 36))
+	if err != nil {
+		b.Fatal(err)
+	}
+	models := map[string]cost.Model{
+		"RowModel":      cost.RowModel{},
+		"PhysicalModel": cost.DefaultPhysicalModel(),
+	}
+	for name, m := range models {
+		b.Run(name, func(b *testing.B) {
+			var res *core.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = core.Heuristic(sc.Graph, core.Options{
+					Model: m, IncrementalCost: true, MaxStates: 6_000,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.Improvement(), "improvement%")
+			b.ReportMetric(res.BestCost, "final-cost")
+		})
+	}
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"etlopt/internal/dsl"
+)
+
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "etlgen")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building etlgen: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestCLIGenerateParsesBack(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary")
+	}
+	bin := buildTool(t)
+	dir := t.TempDir()
+	out, err := exec.Command(bin, "-category", "small", "-n", "2", "-seed", "3", "-dir", dir).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("generated %d files, want 2", len(entries))
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".etl") {
+			t.Errorf("unexpected file %s", e.Name())
+		}
+		text, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := dsl.Parse(string(text))
+		if err != nil {
+			t.Errorf("%s does not parse: %v", e.Name(), err)
+			continue
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", e.Name(), err)
+		}
+	}
+}
+
+func TestCLIGenerateBadCategory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary")
+	}
+	bin := buildTool(t)
+	if err := exec.Command(bin, "-category", "gigantic").Run(); err == nil {
+		t.Error("unknown category should fail")
+	}
+}

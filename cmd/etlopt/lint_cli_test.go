@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCLILint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary")
+	}
+	bin := buildTool(t)
+	// A workflow with an unguarded surrogate key: lint fails with a
+	// warning.
+	src := `
+recordset S source rows=100 schema=K,V
+recordset T target schema=V,SK
+activity sk sk key=K out=SK lookup=L sel=1
+flow S -> sk -> T
+`
+	path := filepath.Join(t.TempDir(), "wf.etl")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(bin, "-in", path, "-lint").CombinedOutput()
+	if err == nil {
+		t.Errorf("lint with warnings should exit nonzero:\n%s", out)
+	}
+	if !strings.Contains(string(out), "unguarded-surrogate-key") {
+		t.Errorf("missing finding:\n%s", out)
+	}
+
+	// The clean Fig. 1 lints without warnings.
+	clean := writeFig1(t)
+	out, err = exec.Command(bin, "-in", clean, "-lint").CombinedOutput()
+	if err != nil {
+		t.Errorf("clean workflow lint failed: %v\n%s", err, out)
+	}
+}

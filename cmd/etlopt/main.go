@@ -1,0 +1,178 @@
+// Command etlopt optimizes an ETL workflow definition: it parses a
+// workflow file, runs one of the paper's three search algorithms (ES, HS,
+// HS-Greedy), reports the cost improvement, and optionally writes the
+// optimized workflow back out.
+//
+// Usage:
+//
+//	etlopt -in workflow.etl [-algo hs|greedy|es] [-maxstates N]
+//	       [-timeout 30s] [-out optimized.etl] [-verbose] [-lint]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"etlopt/internal/core"
+	"etlopt/internal/cost"
+	"etlopt/internal/dsl"
+	"etlopt/internal/equiv"
+	"etlopt/internal/lint"
+	"etlopt/internal/workflow"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "etlopt:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		in        = flag.String("in", "", "workflow definition file ('-' for stdin)")
+		algo      = flag.String("algo", "hs", "search algorithm: es, hs or greedy")
+		maxStates = flag.Int("maxstates", 0, "state generation budget (0 = default)")
+		timeout   = flag.Duration("timeout", 0, "wall-clock budget (0 = none)")
+		out       = flag.String("out", "", "write the optimized workflow definition here")
+		verbose   = flag.Bool("verbose", false, "print both workflow graphs")
+		lintOnly  = flag.Bool("lint", false, "run the design checks and exit")
+		dot       = flag.Bool("dot", false, "print the optimized workflow in Graphviz dot syntax")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		return fmt.Errorf("missing -in")
+	}
+
+	var src []byte
+	var err error
+	if *in == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(*in)
+	}
+	if err != nil {
+		return err
+	}
+	g, err := dsl.Parse(string(src))
+	if err != nil {
+		return err
+	}
+
+	if *lintOnly {
+		findings, err := lint.Check(g)
+		if err != nil {
+			return err
+		}
+		if len(findings) == 0 {
+			fmt.Println("no findings")
+			return nil
+		}
+		names := dsl.NodeNames(g)
+		warnings := 0
+		for _, f := range findings {
+			where := ""
+			if f.Node >= 0 {
+				where = " at " + names[f.Node]
+			}
+			fmt.Printf("%s [%s]%s: %s\n", f.Severity, f.Check, where, f.Message)
+			if f.Severity == lint.Warning {
+				warnings++
+			}
+		}
+		if warnings > 0 {
+			return fmt.Errorf("%d warning(s)", warnings)
+		}
+		return nil
+	}
+
+	opts := core.Options{
+		MaxStates:       *maxStates,
+		Timeout:         *timeout,
+		IncrementalCost: true,
+	}
+	var res *core.Result
+	switch *algo {
+	case "es":
+		res, err = core.Exhaustive(g, opts)
+	case "hs":
+		res, err = core.Heuristic(g, opts)
+	case "greedy":
+		res, err = core.HSGreedy(g, opts)
+	default:
+		return fmt.Errorf("unknown algorithm %q (want es, hs or greedy)", *algo)
+	}
+	if err != nil {
+		return err
+	}
+
+	report(os.Stdout, g, res, *verbose)
+
+	if equalOK, why, err := equiv.Equivalent(g, res.Best); err != nil {
+		return err
+	} else if !equalOK {
+		return fmt.Errorf("internal error: optimized workflow not equivalent: %s", why)
+	}
+
+	if *dot {
+		fmt.Print(res.Best.DOT(fmt.Sprintf("%s (%.1f%% improvement)", res.Algorithm, res.Improvement())))
+	}
+
+	if *out != "" {
+		text, err := dsl.Serialize(res.Best)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("optimized workflow written to %s\n", *out)
+	}
+	return nil
+}
+
+func report(w io.Writer, g0 *workflow.Graph, res *core.Result, verbose bool) {
+	fmt.Fprintf(w, "algorithm:           %s\n", res.Algorithm)
+	fmt.Fprintf(w, "initial signature:   %s\n", g0.Signature())
+	fmt.Fprintf(w, "initial cost:        %.1f\n", res.InitialCost)
+	fmt.Fprintf(w, "optimized signature: %s\n", res.Best.Signature())
+	fmt.Fprintf(w, "optimized cost:      %.1f\n", res.BestCost)
+	fmt.Fprintf(w, "improvement:         %.1f%%\n", res.Improvement())
+	fmt.Fprintf(w, "visited states:      %d\n", res.Visited)
+	fmt.Fprintf(w, "elapsed:             %v\n", res.Elapsed.Round(time.Millisecond))
+	if !res.Terminated {
+		fmt.Fprintln(w, "note: the search budget expired before the space closed")
+	}
+	if verbose {
+		fmt.Fprintln(w, "\ninitial workflow:")
+		fmt.Fprint(w, g0.String())
+		fmt.Fprintln(w, "\noptimized workflow:")
+		fmt.Fprint(w, res.Best.String())
+		printCosting(w, g0, "initial")
+		printCosting(w, res.Best, "optimized")
+	}
+}
+
+func printCosting(w io.Writer, g *workflow.Graph, label string) {
+	c, err := cost.Evaluate(g, cost.RowModel{})
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "\n%s per-activity costs:\n", label)
+	order, err := g.TopoSort()
+	if err != nil {
+		return
+	}
+	for _, id := range order {
+		n := g.Node(id)
+		if n.Kind != workflow.KindActivity {
+			continue
+		}
+		fmt.Fprintf(w, "  %3d %-35s cost %12.1f  out-rows %12.1f\n",
+			id, n.Label(), c.Costs[id], c.Cards[id])
+	}
+}

@@ -1,0 +1,270 @@
+// Command etlrun executes an ETL workflow definition against CSV record
+// files: every source recordset, surrogate-key lookup and key set named by
+// the workflow is bound to <data-dir>/<name>.csv, and target recordsets
+// are written to <data-dir>/<name>.csv as well. Optionally the workflow is
+// optimized before running, executed through the pipelined engine, and
+// checkpointed so an interrupted load resumes instead of restarting.
+//
+// Usage:
+//
+//	etlrun -in workflow.etl -data ./data [-optimize hs|greedy|es]
+//	       [-mode pipelined] [-checkpoint ./stage] [-impact NODE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"etlopt/internal/core"
+	"etlopt/internal/cost"
+	"etlopt/internal/data"
+	"etlopt/internal/dsl"
+	"etlopt/internal/engine"
+	"etlopt/internal/workflow"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "etlrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		in         = flag.String("in", "", "workflow definition file")
+		dataDir    = flag.String("data", ".", "directory of <name>.csv record files")
+		optimize   = flag.String("optimize", "", "optimize first: es, hs or greedy")
+		mode       = flag.String("mode", "materialized", "execution mode: materialized or pipelined")
+		checkpoint = flag.String("checkpoint", "", "staging directory for resumable execution")
+		impact     = flag.String("impact", "", "print the impact analysis of the named recordset and exit")
+		explain    = flag.Bool("explain", false, "print estimated vs actual cardinalities after the run")
+		calibrate  = flag.Bool("calibrate", false, "after running, calibrate selectivities from observation and report the re-optimized plan")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		return fmt.Errorf("missing -in")
+	}
+	src, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	g, err := dsl.Parse(string(src))
+	if err != nil {
+		return err
+	}
+
+	if *impact != "" {
+		return printImpact(g, *impact)
+	}
+
+	if *optimize != "" {
+		var res *core.Result
+		opts := core.Options{IncrementalCost: true, MaxStates: 30_000}
+		switch *optimize {
+		case "es":
+			res, err = core.Exhaustive(g, opts)
+		case "hs":
+			res, err = core.Heuristic(g, opts)
+		case "greedy":
+			res, err = core.HSGreedy(g, opts)
+		default:
+			return fmt.Errorf("unknown optimizer %q", *optimize)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("optimized with %s: cost %.0f -> %.0f (%.1f%%)\n",
+			res.Algorithm, res.InitialCost, res.BestCost, res.Improvement())
+		g = res.Best
+	}
+
+	bindings, err := bindCSV(g, *dataDir)
+	if err != nil {
+		return err
+	}
+
+	var engineMode engine.Mode
+	switch *mode {
+	case "materialized":
+		engineMode = engine.Materialized
+	case "pipelined":
+		engineMode = engine.Pipelined
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+	e := engine.New(bindings, engine.WithMode(engineMode))
+
+	var result *engine.RunResult
+	if *checkpoint != "" {
+		cr, err := engine.NewCheckpointRunner(e, *checkpoint)
+		if err != nil {
+			return err
+		}
+		if staged, _ := cr.Staged(); len(staged) > 0 {
+			fmt.Printf("resuming: %d staged node outputs found\n", len(staged))
+		}
+		result, err = cr.Run(g)
+		if err != nil {
+			return fmt.Errorf("run failed (progress staged in %s, re-run to resume): %w", *checkpoint, err)
+		}
+	} else {
+		result, err = e.Run(g)
+		if err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("executed in %v\n", result.Elapsed.Round(time.Millisecond))
+	order, _ := g.TopoSort()
+	for _, id := range order {
+		n := g.Node(id)
+		fmt.Printf("  %3d %-35s %8d rows\n", id, n.Label(), result.NodeRows[id])
+	}
+	for _, name := range result.SortTargets() {
+		fmt.Printf("target %s: %d rows written to %s\n",
+			name, len(result.Targets[name]), csvPath(*dataDir, name))
+	}
+
+	if *explain {
+		est, err := cost.Explain(g, cost.RowModel{}, result.NodeRows)
+		if err != nil {
+			return err
+		}
+		fmt.Println("\nestimated vs actual cardinalities:")
+		fmt.Print(cost.FormatExplain(est))
+	}
+	if *calibrate {
+		cal, err := cost.Calibrate(g, result.NodeRows)
+		if err != nil {
+			return err
+		}
+		res, err := core.Heuristic(cal, core.Options{IncrementalCost: true, MaxStates: 30_000})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\ncalibrated re-optimization: cost %.0f -> %.0f (%.1f%%)\n",
+			res.InitialCost, res.BestCost, res.Improvement())
+		fmt.Println("re-optimized plan under observed selectivities:")
+		fmt.Print(res.Best)
+	}
+	return nil
+}
+
+// bindCSV binds every recordset the workflow names — sources and targets
+// from the graph, plus lookup recordsets referenced by surrogate-key and
+// key-check activities — to CSV files in dir. Source and lookup files must
+// exist; target files are created.
+func bindCSV(g *workflow.Graph, dir string) (map[string]data.Recordset, error) {
+	bindings := map[string]data.Recordset{}
+
+	bind := func(name string, schema data.Schema, mustExist bool) error {
+		if _, dup := bindings[name]; dup {
+			return nil
+		}
+		path := csvPath(dir, name)
+		if mustExist {
+			if _, err := os.Stat(path); err != nil {
+				return fmt.Errorf("recordset %q: %w", name, err)
+			}
+			// Schema comes from the file header for lookups (schema nil).
+			if schema == nil {
+				header, err := readHeader(path)
+				if err != nil {
+					return err
+				}
+				schema = header
+			}
+		}
+		rs, err := data.NewFileRecordset(name, schema, path)
+		if err != nil {
+			return err
+		}
+		bindings[name] = rs
+		return nil
+	}
+
+	for _, id := range g.Recordsets() {
+		n := g.Node(id)
+		isSource := len(g.Providers(id)) == 0
+		if err := bind(n.RS.Name, n.RS.Schema, isSource); err != nil {
+			return nil, err
+		}
+	}
+	for _, id := range g.Activities() {
+		a := g.Node(id).Act
+		if a.Sem.Lookup != "" {
+			if err := bind(a.Sem.Lookup, nil, true); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return bindings, nil
+}
+
+func csvPath(dir, name string) string {
+	return filepath.Join(dir, strings.ReplaceAll(name, string(filepath.Separator), "_")+".csv")
+}
+
+func readHeader(path string) (data.Schema, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var line strings.Builder
+	buf := make([]byte, 1)
+	for {
+		if _, err := f.Read(buf); err != nil {
+			return nil, fmt.Errorf("reading header of %s: %w", path, err)
+		}
+		if buf[0] == '\n' {
+			break
+		}
+		if buf[0] != '\r' {
+			line.WriteByte(buf[0])
+		}
+	}
+	return data.Schema(strings.Split(line.String(), ",")), nil
+}
+
+// printImpact renders the change/failure impact analysis for the named
+// recordset or activity identifier.
+func printImpact(g *workflow.Graph, name string) error {
+	names := dsl.NodeNames(g)
+	var target workflow.NodeID = -1
+	var known []string
+	for id, n := range names {
+		known = append(known, n)
+		if n == name {
+			target = id
+		}
+	}
+	if target < 0 {
+		sort.Strings(known)
+		return fmt.Errorf("unknown node %q (have: %s)", name, strings.Join(known, ", "))
+	}
+	imp, err := g.AnalyzeImpact(target)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("impact of a change or failure at %s:\n", name)
+	fmt.Printf("  downstream (must re-run): %d nodes\n", len(imp.Downstream))
+	for _, id := range imp.Downstream {
+		fmt.Printf("    %s\n", names[id])
+	}
+	fmt.Printf("  stale targets: %v\n", imp.Targets)
+	fmt.Printf("  upstream dependencies: %d nodes (sources: %v)\n", len(imp.Upstream), imp.Sources)
+	un, err := g.UnaffectedBy(target)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  unaffected activities: %d\n", len(un))
+	return nil
+}

@@ -1,0 +1,3 @@
+module etlopt
+
+go 1.22

@@ -1,0 +1,260 @@
+// Package core implements the paper's primary contribution: the
+// optimization of ETL workflows as state-space search (§2.2, §4). Each
+// state is a workflow graph; transitions (SWA, FAC, DIS, MER, SPL)
+// generate equivalent states; a cost model discriminates them; and three
+// algorithms explore the space:
+//
+//   - Exhaustive Search (ES) generates every reachable state and returns
+//     the global optimum, subject to a visited-state / time budget (the
+//     paper capped ES at 40 hours; most medium and large workflows never
+//     terminated);
+//   - Heuristic Search (HS, Fig. 7) prunes the space with four heuristics:
+//     factorize only homologous activities, distribute only distributable
+//     ones, merge constrained activities up front, and divide the state
+//     into local groups optimized independently;
+//   - HS-Greedy replaces HS's exhaustive local-group exploration with
+//     hill-climbing, trading solution quality for speed.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"etlopt/internal/cost"
+	"etlopt/internal/transitions"
+	"etlopt/internal/workflow"
+)
+
+// Options configures an optimization run.
+type Options struct {
+	// Model prices states; defaults to cost.RowModel.
+	Model cost.Model
+	// MaxStates bounds the number of generated (visited) states; 0 means
+	// the package default (200 000). ES reports Terminated=false when the
+	// budget is exhausted before the space closes.
+	MaxStates int
+	// GroupCap bounds the states generated while exhaustively exploring
+	// one local group's orderings in HS Phases I and IV (0 means the
+	// default of 800). Groups short enough to close within the cap are
+	// explored completely; larger groups are explored breadth-first until
+	// the cap. HS-Greedy ignores the cap (hill-climbing converges).
+	GroupCap int
+	// Timeout bounds wall-clock time; 0 means no limit.
+	Timeout time.Duration
+	// MergeConstraints lists activity pairs to merge during HS
+	// pre-processing (Heuristic 3), by node ID in the initial state. The
+	// merges are split again after the search.
+	MergeConstraints [][2]workflow.NodeID
+	// IncrementalCost enables the semi-incremental cost evaluation of
+	// §4.1; full recomputation is used when false. Results are identical;
+	// only speed differs.
+	IncrementalCost bool
+	// DisableDedup turns off signature-based duplicate-state detection
+	// (ablation A1). ES without dedup re-explores states and is
+	// dramatically slower.
+	DisableDedup bool
+	// DisablePhaseI skips HS Phase I (ablation A3; the paper argues the
+	// phase pays for itself despite Phase IV's repetition).
+	DisablePhaseI bool
+}
+
+// withDefaults fills unset options.
+func (o Options) withDefaults() Options {
+	if o.Model == nil {
+		o.Model = cost.RowModel{}
+	}
+	if o.MaxStates <= 0 {
+		o.MaxStates = 200_000
+	}
+	if o.GroupCap <= 0 {
+		o.GroupCap = 400
+	}
+	return o
+}
+
+// Result reports one optimization run.
+type Result struct {
+	// Best is the cheapest state found, merged packages split.
+	Best *workflow.Graph
+	// BestCost and InitialCost are C(S_MIN) and C(S0).
+	BestCost    float64
+	InitialCost float64
+	// Visited counts the distinct states generated — the paper's
+	// visited-states metric (§4.1 dedupes by signature so no state is
+	// generated, or costed, more than once).
+	Visited int
+	// Generated counts generation attempts including duplicate hits; the
+	// state budget applies to this number, since duplicates still cost
+	// work to produce and recognize.
+	Generated int
+	// Elapsed is the wall-clock search time.
+	Elapsed time.Duration
+	// Terminated reports whether the search closed the space (always true
+	// for HS and HS-Greedy; false when ES ran out of budget, matching the
+	// paper's "the algorithm did not terminate" annotations).
+	Terminated bool
+	// Algorithm names the search that produced this result.
+	Algorithm string
+	// Trace optionally lists the transition descriptions on the path to
+	// Best (populated by ES).
+	Trace []string
+}
+
+// Improvement returns the percentage improvement over the initial state.
+func (r *Result) Improvement() float64 {
+	return cost.Improvement(r.InitialCost, r.BestCost)
+}
+
+// state couples a workflow with its evaluated costing.
+type state struct {
+	g       *workflow.Graph
+	costing *cost.Costing
+	sig     string
+	trace   []string
+}
+
+// search carries the shared bookkeeping of all three algorithms.
+type search struct {
+	opts     Options
+	deadline time.Time
+	visited  map[string]bool
+	count    int // generation attempts (budget)
+	unique   int // distinct states (reported)
+}
+
+func newSearch(opts Options) *search {
+	s := &search{opts: opts, visited: make(map[string]bool)}
+	if opts.Timeout > 0 {
+		s.deadline = time.Now().Add(opts.Timeout)
+	}
+	return s
+}
+
+// budgetLeft reports whether the state budget and deadline allow further
+// generation.
+func (s *search) budgetLeft() bool {
+	if s.count >= s.opts.MaxStates {
+		return false
+	}
+	if !s.deadline.IsZero() && time.Now().After(s.deadline) {
+		return false
+	}
+	return true
+}
+
+// admit registers a generated state; it returns false when the state is a
+// duplicate (already visited) and dedup is enabled. Every call counts one
+// generated state against the budget.
+func (s *search) admit(sig string) bool {
+	s.count++
+	if s.opts.DisableDedup {
+		s.unique++
+		return true
+	}
+	if s.visited[sig] {
+		return false
+	}
+	s.visited[sig] = true
+	s.unique++
+	return true
+}
+
+// countShift accounts for intermediate states produced while shifting an
+// activity along its local group (each shift step is a generated state).
+func (s *search) countShift(n int) {
+	s.count += n
+	s.unique += n
+}
+
+// evaluate costs a state, incrementally from its parent when enabled.
+func (s *search) evaluate(parent *state, g *workflow.Graph, dirty []workflow.NodeID) (*cost.Costing, error) {
+	if s.opts.IncrementalCost && parent != nil && parent.costing != nil {
+		return cost.EvaluateIncremental(parent.costing, g, s.opts.Model, dirty)
+	}
+	return cost.Evaluate(g, s.opts.Model)
+}
+
+// makeState wraps a transition result into a costed state. The parent must
+// be the state the transition was applied to — its costing is the baseline
+// of the semi-incremental evaluation, which only recomputes the dirty
+// nodes and their descendants.
+func (s *search) makeState(parent *state, res *transitions.Result) (*state, error) {
+	costing, err := s.evaluate(parent, res.Graph, res.Dirty)
+	if err != nil {
+		return nil, err
+	}
+	st := &state{g: res.Graph, costing: costing, sig: res.Graph.Signature()}
+	if parent != nil {
+		st.trace = append(append([]string(nil), parent.trace...), res.Description)
+	}
+	return st, nil
+}
+
+// makeStateFull costs a derived graph from scratch. It is used when the
+// graph is separated from traceParent by intermediate rewrites (the
+// ShiftFrw/ShiftBkw swap sequences of HS Phases II and III), so no single
+// dirty set relative to the parent exists and incremental costing would
+// copy stale values.
+func (s *search) makeStateFull(traceParent *state, g *workflow.Graph, desc string) (*state, error) {
+	costing, err := cost.Evaluate(g, s.opts.Model)
+	if err != nil {
+		return nil, err
+	}
+	st := &state{g: g, costing: costing, sig: g.Signature()}
+	if traceParent != nil {
+		st.trace = append(append([]string(nil), traceParent.trace...), desc)
+	}
+	return st, nil
+}
+
+// initialState validates and costs S0.
+func (s *search) initialState(g0 *workflow.Graph) (*state, error) {
+	if err := g0.RegenerateSchemata(); err != nil {
+		return nil, fmt.Errorf("core: initial state: %w", err)
+	}
+	if err := g0.Validate(); err != nil {
+		return nil, fmt.Errorf("core: initial state: %w", err)
+	}
+	if err := g0.CheckWellFormed(); err != nil {
+		return nil, fmt.Errorf("core: initial state: %w", err)
+	}
+	costing, err := cost.Evaluate(g0, s.opts.Model)
+	if err != nil {
+		return nil, fmt.Errorf("core: costing initial state: %w", err)
+	}
+	st := &state{g: g0, costing: costing, sig: g0.Signature()}
+	if !s.opts.DisableDedup {
+		s.visited[st.sig] = true
+	}
+	return st, nil
+}
+
+// expansions enumerates every transition applicable to a state — the
+// successor function of the exhaustive search, delegated to
+// transitions.Enumerate.
+func expansions(st *state) []*transitions.Result {
+	return transitions.Enumerate(st.g)
+}
+
+// finishResult splits any merged packages in the best state and assembles
+// the Result.
+func finishResult(alg string, s0, best *state, s *search, start time.Time, terminated bool) (*Result, error) {
+	final, err := transitions.SplitAll(best.g)
+	if err != nil {
+		return nil, fmt.Errorf("core: splitting merged activities: %w", err)
+	}
+	if err := final.RegenerateSchemata(); err != nil {
+		return nil, err
+	}
+	return &Result{
+		Best:        final,
+		BestCost:    best.costing.Total,
+		InitialCost: s0.costing.Total,
+		Visited:     s.unique,
+		Generated:   s.count,
+		Elapsed:     time.Since(start),
+		Terminated:  terminated,
+		Algorithm:   alg,
+		Trace:       best.trace,
+	}, nil
+}

@@ -1,0 +1,318 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"etlopt/internal/transitions"
+	"etlopt/internal/workflow"
+)
+
+// Heuristic runs the HS algorithm exactly as structured in the paper's
+// Fig. 7:
+//
+//	Pre-processing: apply the MER transitions dictated by the merge
+//	constraints; find the homologous activities H, the distributable
+//	activities D and the local groups L of the initial state.
+//	Phase I:   all possible swap transitions within each local group.
+//	Phase II:  for each homologous pair that can be shifted forward to its
+//	           binary activity, factorize (FAC).
+//	Phase III: for each state of Phase II and each distributable activity
+//	           that can be shifted backward to its binary, distribute (DIS).
+//	Phase IV:  repeat the local-group swap optimization on every state the
+//	           previous phases produced.
+//	Post:      split all merged activities and return S_MIN.
+func Heuristic(g0 *workflow.Graph, opts Options) (*Result, error) {
+	return heuristicSearch("HS", g0, opts, false)
+}
+
+// HSGreedy runs the greedy variant of HS: Phases I and IV accept a swap
+// only when it improves on the current minimum (hill-climbing) instead of
+// exhaustively exploring each local group's orderings. Per §4.2 this is
+// substantially faster, matches HS on small workflows, and degrades on
+// medium and large ones.
+func HSGreedy(g0 *workflow.Graph, opts Options) (*Result, error) {
+	return heuristicSearch("HS-Greedy", g0, opts, true)
+}
+
+func heuristicSearch(alg string, g0 *workflow.Graph, opts Options, greedy bool) (*Result, error) {
+	opts = opts.withDefaults()
+	start := time.Now()
+	s := newSearch(opts)
+
+	s0, err := s.initialState(g0)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pre-processing (Ln 4-8): apply MER per the merge constraints.
+	cur := s0
+	for _, pair := range opts.MergeConstraints {
+		res, err := transitions.Merge(cur.g, pair[0], pair[1])
+		if err != nil {
+			if transitions.IsRejection(err) {
+				continue
+			}
+			return nil, err
+		}
+		st, err := s.makeState(cur, res)
+		if err != nil {
+			return nil, err
+		}
+		cur = st
+	}
+	homologous := cur.g.FindHomologousPairs()
+	distributable := cur.g.FindDistributableActivities()
+	// Distribution eligibility follows the *activity*, not the node: DIS
+	// clones inherit their origin's tag, so a selection distributed over
+	// one union can be pushed further through the next union up the tree,
+	// while activities factorized in Phase II (whose tags are combined)
+	// are not distributed again, per the paper's Phase III note.
+	distributableTags := make(map[string]bool, len(distributable))
+	for _, da := range distributable {
+		distributableTags[cur.g.Node(da.Activity).Act.Tag] = true
+	}
+
+	sMin := cur
+
+	// Phase I (Ln 9-13): swap optimization inside each local group.
+	if !opts.DisablePhaseI {
+		sMin = s.optimizeLocalGroups(sMin, greedy)
+	}
+
+	visited := []*state{sMin}
+
+	// Phase II (Ln 14-20): shift homologous pairs forward and factorize.
+	for _, hp := range homologous {
+		if !s.budgetLeft() {
+			break
+		}
+		base := sMin
+		if base.g.Node(hp.A) == nil || base.g.Node(hp.B) == nil || base.g.Node(hp.Binary) == nil {
+			continue // consumed by an earlier factorization
+		}
+		sh1, err := transitions.ShiftForward(base.g, hp.A, hp.Binary)
+		if err != nil {
+			continue
+		}
+		s.countShift(sh1.Swaps)
+		sh2, err := transitions.ShiftForward(sh1.Graph, hp.B, hp.Binary)
+		if err != nil {
+			continue
+		}
+		s.countShift(sh2.Swaps)
+		res, err := transitions.Factorize(sh2.Graph, hp.Binary, hp.A, hp.B)
+		if err != nil {
+			continue
+		}
+		if !s.admit(res.Graph.Signature()) {
+			continue
+		}
+		st, err := s.makeStateFull(base, res.Graph, res.Description)
+		if err != nil {
+			return nil, err
+		}
+		if st.costing.Total < sMin.costing.Total {
+			sMin = st
+		}
+		visited = append(visited, st)
+	}
+
+	// Phase III (Ln 21-28): distribute over the accumulated states. The
+	// distributable activities of the *initial* state are used — activities
+	// factorized in Phase II are not distributed again — and the unvisited
+	// list is processed as a worklist: a state produced by one distribution
+	// is itself examined for further distributions, so several selections
+	// can be pushed into the branches of the same flow.
+	unvisited := append([]*state(nil), visited...)
+	for len(unvisited) > 0 && s.budgetLeft() {
+		si := unvisited[0]
+		unvisited = unvisited[1:]
+		for _, da := range si.g.FindDistributableActivities() {
+			if !s.budgetLeft() {
+				break
+			}
+			if !distributableTags[si.g.Node(da.Activity).Act.Tag] {
+				continue
+			}
+			sh, err := transitions.ShiftBackward(si.g, da.Activity, da.Binary)
+			if err != nil {
+				continue
+			}
+			s.countShift(sh.Swaps)
+			res, err := transitions.Distribute(sh.Graph, da.Binary, da.Activity)
+			if err != nil {
+				continue
+			}
+			if !s.admit(res.Graph.Signature()) {
+				continue
+			}
+			st, err := s.makeStateFull(si, res.Graph, res.Description)
+			if err != nil {
+				return nil, err
+			}
+			improving := st.costing.Total < si.costing.Total
+			if st.costing.Total < sMin.costing.Total {
+				sMin = st
+			}
+			visited = append(visited, st)
+			// Expand only improving distributions: chains that keep
+			// lowering the cost (a selection marching down a ladder of
+			// unions) continue; neutral or worsening placements are
+			// recorded for Phase IV but not expanded, pruning the
+			// placement lattice. The greedy variant commits to the first
+			// improving distribution per state instead of branching over
+			// every alternative.
+			if improving {
+				unvisited = append(unvisited, st)
+				if greedy {
+					break
+				}
+			}
+		}
+	}
+
+	// Phase IV (Ln 29-35): repeat the swap optimization on every state
+	// produced so far, since factorizations and distributions changed the
+	// contents of the local groups. States are processed cheapest-first so
+	// that a bounded budget is spent where Phase IV is most likely to find
+	// the optimum.
+	sort.SliceStable(visited, func(i, j int) bool {
+		return visited[i].costing.Total < visited[j].costing.Total
+	})
+	for _, si := range visited {
+		if !s.budgetLeft() {
+			break
+		}
+		opt := s.optimizeLocalGroupsFrom(si, greedy)
+		if opt.costing.Total < sMin.costing.Total {
+			sMin = opt
+		}
+	}
+
+	// Post-processing (Ln 36): split merged activities — done by
+	// finishResult, whose SplitAll mirrors the reciprocal SPL constraints.
+	return finishResult(alg, s0, sMin, s, start, true)
+}
+
+// optimizeLocalGroups runs the Phase I/IV swap optimization over every
+// local group of the state, feeding each group's best state into the next
+// group (the groups partition the unary activities, so their optimizations
+// compose). The cheapest state seen is returned.
+func (s *search) optimizeLocalGroups(st *state, greedy bool) *state {
+	return s.optimizeLocalGroupsFrom(st, greedy)
+}
+
+func (s *search) optimizeLocalGroupsFrom(st *state, greedy bool) *state {
+	cur := st
+	for _, grp := range st.g.LocalGroups() {
+		if len(grp) < 2 {
+			continue
+		}
+		members := make(map[workflow.NodeID]bool, len(grp))
+		for _, id := range grp {
+			members[id] = true
+		}
+		if greedy {
+			cur = s.optimizeGroupGreedy(cur, members)
+		} else {
+			cur = s.optimizeGroupFull(cur, members)
+		}
+		if !s.budgetLeft() {
+			break
+		}
+	}
+	return cur
+}
+
+// adjacentPairs enumerates provider→consumer activity pairs within the
+// member set on the given graph, ordered from the upstream end of the
+// chain so results are deterministic.
+func adjacentPairs(g *workflow.Graph, members map[workflow.NodeID]bool) [][2]workflow.NodeID {
+	ids := make([]workflow.NodeID, 0, len(members))
+	for id := range members {
+		if g.Node(id) != nil {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var out [][2]workflow.NodeID
+	for _, id := range ids {
+		for _, c := range g.Consumers(id) {
+			if members[c] {
+				out = append(out, [2]workflow.NodeID{id, c})
+			}
+		}
+	}
+	return out
+}
+
+// optimizeGroupFull explores, breadth-first, every ordering of the group's
+// activities reachable through legal swaps, returning the cheapest state —
+// HS's exhaustive-within-a-group behaviour. The exploration is seeded with
+// the hill-climbing result so that, under a bounded budget, the full search
+// never returns a worse ordering than the greedy variant would.
+func (s *search) optimizeGroupFull(st *state, members map[workflow.NodeID]bool) *state {
+	best := s.optimizeGroupGreedy(st, members)
+	frontier := []*state{best}
+	localSeen := map[string]bool{st.sig: true, best.sig: true}
+	generated := 0
+	for len(frontier) > 0 && s.budgetLeft() && generated < s.opts.GroupCap {
+		cur := frontier[0]
+		frontier = frontier[1:]
+		for _, pair := range adjacentPairs(cur.g, members) {
+			res, err := transitions.Swap(cur.g, pair[0], pair[1])
+			if err != nil {
+				continue
+			}
+			sig := res.Graph.Signature()
+			if localSeen[sig] {
+				continue
+			}
+			localSeen[sig] = true
+			s.admit(sig)
+			generated++
+			st2, err := s.makeState(cur, res)
+			if err != nil {
+				continue
+			}
+			if st2.costing.Total < best.costing.Total {
+				best = st2
+			}
+			frontier = append(frontier, st2)
+			if !s.budgetLeft() || generated >= s.opts.GroupCap {
+				break
+			}
+		}
+	}
+	return best
+}
+
+// optimizeGroupGreedy performs the HS-Greedy variant of Phases I and IV:
+// a single pass over the group's adjacent pairs, applying a swap only when
+// it lowers the cost of the current minimum — the paper's "swaps only
+// those that lead to a state with less cost than the existing minimum".
+// One pass (rather than iterating to a fixpoint) is what makes HS-Greedy
+// fast but "unstable" on large workflows (§4.2): an improving swap further
+// down the group can be missed when an earlier pair was processed first.
+func (s *search) optimizeGroupGreedy(st *state, members map[workflow.NodeID]bool) *state {
+	cur := st
+	for _, pair := range adjacentPairs(cur.g, members) {
+		if !s.budgetLeft() {
+			break
+		}
+		res, err := transitions.Swap(cur.g, pair[0], pair[1])
+		if err != nil {
+			continue
+		}
+		s.admit(res.Graph.Signature())
+		st2, err := s.makeState(cur, res)
+		if err != nil {
+			continue
+		}
+		if st2.costing.Total < cur.costing.Total {
+			cur = st2
+		}
+	}
+	return cur
+}

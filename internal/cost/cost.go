@@ -1,0 +1,232 @@
+// Package cost implements the discrimination criterion of the state-space
+// search (§2.2): a pluggable cost model assigning each activity a cost that
+// may depend on its position in the workflow (through the cardinalities
+// that reach it), with the total cost of a state being the sum of its
+// activities' costs, C(S) = Σ c(aᵢ).
+//
+// The default RowModel follows the paper's experimental setup: "a simple
+// cost model taking into consideration only the number of processed rows
+// based on simple formulae [15]" — linear scans cost n, sort/hash-based
+// operations cost n·log₂n, and selectivities drive cardinality propagation.
+package cost
+
+import (
+	"fmt"
+	"math"
+
+	"etlopt/internal/workflow"
+)
+
+// Model prices activities and propagates cardinalities. Implementations
+// must be deterministic and free of state so that evaluations are
+// position-dependent only through the input cardinalities.
+type Model interface {
+	// ActivityCost returns the cost of running the activity on inputs of
+	// the given cardinalities.
+	ActivityCost(a *workflow.Activity, in []float64) float64
+	// OutputRows estimates the activity's output cardinality.
+	OutputRows(a *workflow.Activity, in []float64) float64
+}
+
+// RowModel is the paper's row-count cost model. The zero value is ready to
+// use.
+type RowModel struct{}
+
+// log2 returns log₂(n) clamped to 0 for n ≤ 1, keeping n·log₂n formulas
+// monotone and non-negative on tiny inputs.
+func log2(n float64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return math.Log2(n)
+}
+
+// ActivityCost implements Model: filters and per-row transformations cost
+// n; duplicate-sensitive and key-assigning operations cost n·log₂n; binary
+// operations charge both inputs (n₁+n₂ for union, sort-based n·log₂n per
+// side for join-like operations).
+func (RowModel) ActivityCost(a *workflow.Activity, in []float64) float64 {
+	switch a.Sem.Op {
+	case workflow.OpFilter, workflow.OpNotNull, workflow.OpProject, workflow.OpFunc:
+		return in[0]
+	case workflow.OpPKCheck, workflow.OpDistinct, workflow.OpAggregate, workflow.OpSurrogateKey:
+		return in[0] * log2(in[0])
+	case workflow.OpMerged:
+		total := 0.0
+		n := in[0]
+		for _, comp := range a.Sem.Components {
+			total += RowModel{}.ActivityCost(comp, []float64{n})
+			n = RowModel{}.OutputRows(comp, []float64{n})
+		}
+		return total
+	case workflow.OpUnion:
+		return in[0] + in[1]
+	case workflow.OpJoin, workflow.OpDiff, workflow.OpIntersect:
+		return in[0]*log2(in[0]) + in[1]*log2(in[1])
+	default:
+		return in[0]
+	}
+}
+
+// OutputRows implements Model using the activity's selectivity estimate:
+// sel·n for unary activities (grouping ratio for aggregations), n₁+n₂ for
+// union, sel·n₁·n₂ for join and sel·n₁ for difference/intersection.
+func (RowModel) OutputRows(a *workflow.Activity, in []float64) float64 {
+	switch a.Sem.Op {
+	case workflow.OpUnion:
+		return in[0] + in[1]
+	case workflow.OpJoin:
+		return a.Sel * in[0] * in[1]
+	case workflow.OpDiff, workflow.OpIntersect:
+		return a.Sel * in[0]
+	case workflow.OpMerged:
+		n := in[0]
+		for _, comp := range a.Sem.Components {
+			n = RowModel{}.OutputRows(comp, []float64{n})
+		}
+		return n
+	default:
+		return a.Sel * in[0]
+	}
+}
+
+// Costing holds the evaluated cost of one state: per-node output
+// cardinalities, per-node costs, and the total C(S).
+type Costing struct {
+	Cards map[workflow.NodeID]float64
+	Costs map[workflow.NodeID]float64
+	Total float64
+}
+
+// Clone returns an independent copy, used as the baseline of a
+// semi-incremental re-evaluation.
+func (c *Costing) Clone() *Costing {
+	out := &Costing{
+		Cards: make(map[workflow.NodeID]float64, len(c.Cards)),
+		Costs: make(map[workflow.NodeID]float64, len(c.Costs)),
+		Total: c.Total,
+	}
+	for k, v := range c.Cards {
+		out.Cards[k] = v
+	}
+	for k, v := range c.Costs {
+		out.Costs[k] = v
+	}
+	return out
+}
+
+// Evaluate computes the full costing of a workflow under a model: source
+// recordsets contribute their declared cardinality, every activity is
+// priced on the cardinalities of its providers, and C(S) sums the activity
+// costs.
+func Evaluate(g *workflow.Graph, m Model) (*Costing, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	c := &Costing{
+		Cards: make(map[workflow.NodeID]float64, len(order)),
+		Costs: make(map[workflow.NodeID]float64, len(order)),
+	}
+	for _, id := range order {
+		if err := evalNode(g, m, c, id); err != nil {
+			return nil, err
+		}
+		c.Total += c.Costs[id]
+	}
+	return c, nil
+}
+
+// evalNode computes the cardinality and cost of one node from its
+// providers' already-computed cardinalities.
+func evalNode(g *workflow.Graph, m Model, c *Costing, id workflow.NodeID) error {
+	n := g.Node(id)
+	if n == nil {
+		return fmt.Errorf("cost: unknown node %d", id)
+	}
+	switch n.Kind {
+	case workflow.KindRecordset:
+		if preds := g.Providers(id); len(preds) == 1 {
+			c.Cards[id] = c.Cards[preds[0]] // target: stores what arrives
+		} else {
+			c.Cards[id] = n.RS.Rows
+		}
+		c.Costs[id] = 0
+	case workflow.KindActivity:
+		preds := g.Providers(id)
+		in := make([]float64, len(preds))
+		for i, p := range preds {
+			card, ok := c.Cards[p]
+			if !ok {
+				return fmt.Errorf("cost: provider %d of node %d not evaluated", p, id)
+			}
+			in[i] = card
+		}
+		if len(in) == 0 {
+			return fmt.Errorf("cost: activity %d has no provider", id)
+		}
+		c.Costs[id] = m.ActivityCost(n.Act, in)
+		c.Cards[id] = m.OutputRows(n.Act, in)
+	}
+	return nil
+}
+
+// EvaluateIncremental re-evaluates a derived state semi-incrementally
+// (§4.1): "the variation of the cost from state S to S' can be determined
+// by computing only the cost of the path from the affected activities
+// towards the target". prev is the costing of the parent state (whose node
+// IDs are stable across the transition), g the derived graph and dirty the
+// nodes the transition touched. Only dirty nodes and their descendants are
+// recomputed; everything else is copied from prev.
+func EvaluateIncremental(prev *Costing, g *workflow.Graph, m Model, dirty []workflow.NodeID) (*Costing, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	affected := make(map[workflow.NodeID]bool, len(dirty))
+	for _, id := range dirty {
+		affected[id] = true
+	}
+	// Propagate the affected set to descendants in topological order.
+	for _, id := range order {
+		if affected[id] {
+			continue
+		}
+		for _, p := range g.Providers(id) {
+			if affected[p] {
+				affected[id] = true
+				break
+			}
+		}
+	}
+	c := &Costing{
+		Cards: make(map[workflow.NodeID]float64, len(order)),
+		Costs: make(map[workflow.NodeID]float64, len(order)),
+	}
+	for _, id := range order {
+		if !affected[id] {
+			if card, ok := prev.Cards[id]; ok {
+				c.Cards[id] = card
+				c.Costs[id] = prev.Costs[id]
+				c.Total += c.Costs[id]
+				continue
+			}
+			// Node unknown to the parent (should not happen for clean
+			// transitions); fall through to recomputation.
+		}
+		if err := evalNode(g, m, c, id); err != nil {
+			return nil, err
+		}
+		c.Total += c.Costs[id]
+	}
+	return c, nil
+}
+
+// Improvement returns the percentage improvement of cost over base:
+// 100·(base−cost)/base, or 0 when base is 0.
+func Improvement(base, cost float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (base - cost) / base
+}

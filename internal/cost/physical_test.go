@@ -1,0 +1,111 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"etlopt/internal/templates"
+	"etlopt/internal/workflow"
+)
+
+func TestPhysicalModelHashVsSort(t *testing.T) {
+	m := PhysicalModel{CPUWeight: 1, IOWeight: 4, MemoryRows: 1000}
+	agg := templates.Aggregate([]string{"K"}, workflow.AggSum, "V", "T", 0.3)
+	// Fits in memory: hash aggregation at linear cost.
+	if got := m.ActivityCost(agg, []float64{500}); got != 500 {
+		t.Errorf("in-memory aggregation cost = %v, want 500", got)
+	}
+	// Spills: sort cost plus write+read of the overflow.
+	n := 4000.0
+	want := n*math.Log2(n) + 2*4*(n-1000)
+	if got := m.ActivityCost(agg, []float64{n}); math.Abs(got-want) > 1e-9 {
+		t.Errorf("spilling aggregation cost = %v, want %v", got, want)
+	}
+}
+
+func TestPhysicalModelJoinChoice(t *testing.T) {
+	m := PhysicalModel{CPUWeight: 1, IOWeight: 4, MemoryRows: 1000}
+	j := templates.Join(0.001, "K")
+	// Small build side → hash join, linear in both inputs.
+	if got := m.ActivityCost(j, []float64{100_000, 500}); got != 100_500 {
+		t.Errorf("hash join cost = %v, want 100500", got)
+	}
+	// Neither side fits → sort-merge with spills, much dearer.
+	big := m.ActivityCost(j, []float64{100_000, 50_000})
+	if big <= 150_000 {
+		t.Errorf("sort-merge join suspiciously cheap: %v", got2str(big))
+	}
+}
+
+func got2str(v float64) float64 { return v }
+
+func TestPhysicalModelCachedLookups(t *testing.T) {
+	m := DefaultPhysicalModel()
+	sk := templates.SurrogateKey("K", "SK", "L")
+	if got := m.ActivityCost(sk, []float64{10_000}); got != 10_000 {
+		t.Errorf("cached SK should cost linear CPU: %v", got)
+	}
+	pk := templates.PKCheckAgainst("DW", 0.9, "K")
+	if got := m.ActivityCost(pk, []float64{10_000}); got != 10_000 {
+		t.Errorf("lookup-based PK should cost linear CPU: %v", got)
+	}
+	grp := templates.PKCheck(0.9, "K")
+	if got := m.ActivityCost(grp, []float64{200_000}); got <= 200_000 {
+		t.Errorf("spilling group-based PK should exceed linear: %v", got)
+	}
+}
+
+func TestPhysicalModelZeroValueDefaults(t *testing.T) {
+	var m PhysicalModel
+	f := templates.Threshold("V", 1, 0.5)
+	if got := m.ActivityCost(f, []float64{100}); got != 100 {
+		t.Errorf("zero-value model should default CPUWeight=1: %v", got)
+	}
+}
+
+func TestEvaluateWithIO(t *testing.T) {
+	g := templates.Fig1Workflow()
+	m := DefaultPhysicalModel()
+	activity, io, err := EvaluateWithIO(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if activity <= 0 || io <= 0 {
+		t.Fatalf("activity=%v io=%v", activity, io)
+	}
+	// Sources hold 1000+3000 rows; targets receive what survives. The IO
+	// charge must cover at least the source scans.
+	if io < m.RecordsetIO(4000) {
+		t.Errorf("io %v below the source scan charge %v", io, m.RecordsetIO(4000))
+	}
+}
+
+func TestPhysicalModelDrivesOptimizer(t *testing.T) {
+	// The same search runs under the physical model: the optimizer must
+	// still never worsen the state and the evaluation must be finite.
+	g := templates.Fig1Workflow()
+	c0, err := Evaluate(g, DefaultPhysicalModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(c0.Total) || math.IsInf(c0.Total, 0) {
+		t.Fatalf("physical cost = %v", c0.Total)
+	}
+}
+
+func TestPhysicalModelMergedComposition(t *testing.T) {
+	m := PhysicalModel{CPUWeight: 1, IOWeight: 4, MemoryRows: 1_000_000}
+	sigma := templates.Threshold("V", 1, 0.5)
+	agg := templates.Aggregate([]string{"K"}, workflow.AggSum, "V", "T", 0.3)
+	merged := &workflow.Activity{
+		Sem: workflow.Semantics{Op: workflow.OpMerged, Components: []*workflow.Activity{sigma, agg}},
+		Sel: 0.15,
+	}
+	// σ(1000) + hash-γ(500) = 1500.
+	if got := m.ActivityCost(merged, []float64{1000}); got != 1500 {
+		t.Errorf("merged physical cost = %v, want 1500", got)
+	}
+	if got := m.OutputRows(merged, []float64{1000}); got != 150 {
+		t.Errorf("merged out = %v, want 150", got)
+	}
+}

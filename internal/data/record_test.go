@@ -1,0 +1,177 @@
+package data
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSchemaBasics(t *testing.T) {
+	s := Schema{"A", "B", "C"}
+	if s.Index("B") != 1 {
+		t.Errorf("Index(B) = %d", s.Index("B"))
+	}
+	if s.Index("Z") != -1 {
+		t.Errorf("Index(Z) = %d", s.Index("Z"))
+	}
+	if !s.Has("A") || s.Has("Z") {
+		t.Error("Has wrong")
+	}
+	if !s.HasAll(Schema{"A", "C"}) {
+		t.Error("HasAll(A,C) = false")
+	}
+	if s.HasAll(Schema{"A", "Z"}) {
+		t.Error("HasAll(A,Z) = true")
+	}
+	if !s.HasAll(nil) {
+		t.Error("HasAll(nil) = false; empty set is a subset of everything")
+	}
+}
+
+func TestSchemaEqualAndSameSet(t *testing.T) {
+	a := Schema{"A", "B"}
+	b := Schema{"B", "A"}
+	if a.Equal(b) {
+		t.Error("order-sensitive Equal should fail")
+	}
+	if !a.SameSet(b) {
+		t.Error("SameSet should ignore order")
+	}
+	if a.SameSet(Schema{"A", "B", "C"}) {
+		t.Error("SameSet with different sizes")
+	}
+	// SameSet compares as sets of names; duplicate attribute names do not
+	// occur in well-formed schemas.
+	if !a.SameSet(a) {
+		t.Error("SameSet self")
+	}
+}
+
+func TestSchemaSetOps(t *testing.T) {
+	s := Schema{"A", "B", "C", "D"}
+	if got := s.Minus(Schema{"B", "D"}); !got.Equal((Schema{"A", "C"})) {
+		t.Errorf("Minus = %v", got)
+	}
+	if got := s.Intersect(Schema{"D", "B", "Z"}); !got.Equal((Schema{"B", "D"})) {
+		t.Errorf("Intersect = %v (order should follow receiver)", got)
+	}
+	if got := (Schema{"A"}).Union(Schema{"B", "A", "C"}); !got.Equal((Schema{"A", "B", "C"})) {
+		t.Errorf("Union = %v", got)
+	}
+}
+
+func TestSchemaCloneIndependence(t *testing.T) {
+	s := Schema{"A", "B"}
+	c := s.Clone()
+	c[0] = "X"
+	if s[0] != "A" {
+		t.Error("Clone shares storage")
+	}
+	if Schema(nil).Clone() != nil {
+		t.Error("nil Clone should stay nil")
+	}
+}
+
+func TestRecordProject(t *testing.T) {
+	src := Schema{"A", "B", "C"}
+	rec := Record{NewInt(1), NewInt(2), NewInt(3)}
+	got := rec.Project(src, Schema{"C", "A"})
+	if len(got) != 2 || !got[0].Equal(NewInt(3)) || !got[1].Equal(NewInt(1)) {
+		t.Errorf("Project = %v", got)
+	}
+	// Missing attributes project to NULL.
+	got = rec.Project(src, Schema{"Z"})
+	if !got[0].IsNull() {
+		t.Errorf("missing attribute should be NULL, got %v", got[0])
+	}
+}
+
+func TestRecordKey(t *testing.T) {
+	a := Record{NewInt(1), NewString("x")}
+	b := Record{NewInt(1), NewString("x")}
+	c := Record{NewInt(1), NewString("y")}
+	if a.Key() != b.Key() {
+		t.Error("equal records should share keys")
+	}
+	if a.Key() == c.Key() {
+		t.Error("different records should not share keys")
+	}
+	// Separator safety: ("ab","c") must differ from ("a","bc").
+	d := Record{NewString("ab"), NewString("c")}
+	e := Record{NewString("a"), NewString("bc")}
+	if d.Key() == e.Key() {
+		t.Error("record key is ambiguous across value boundaries")
+	}
+}
+
+func TestRowsEqualMultiset(t *testing.T) {
+	r1 := Record{NewInt(1)}
+	r2 := Record{NewInt(2)}
+	a := Rows{r1, r2, r1}
+	b := Rows{r2, r1, r1}
+	if !a.EqualMultiset(b) {
+		t.Error("order should not matter")
+	}
+	if a.EqualMultiset(Rows{r1, r2}) {
+		t.Error("different sizes should differ")
+	}
+	if a.EqualMultiset(Rows{r1, r2, r2}) {
+		t.Error("different multiplicities should differ")
+	}
+	if !(Rows{}).EqualMultiset(Rows{}) {
+		t.Error("empty multisets should be equal")
+	}
+}
+
+func TestRowsEqualMultisetProperty(t *testing.T) {
+	f := func(vals []int64, seed uint8) bool {
+		rows := make(Rows, len(vals))
+		for i, v := range vals {
+			rows[i] = Record{NewInt(v)}
+		}
+		// Rotate as a cheap permutation.
+		k := 0
+		if len(rows) > 0 {
+			k = int(seed) % len(rows)
+		}
+		perm := append(append(Rows{}, rows[k:]...), rows[:k]...)
+		return rows.EqualMultiset(perm)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRowsDiffMultiset(t *testing.T) {
+	a := Rows{Record{NewInt(1)}, Record{NewInt(2)}}
+	b := Rows{Record{NewInt(1)}, Record{NewInt(3)}}
+	diffs := a.DiffMultiset(b, 10)
+	if len(diffs) != 2 {
+		t.Errorf("expected 2 diffs, got %v", diffs)
+	}
+	if got := a.DiffMultiset(a, 10); got != nil {
+		t.Errorf("self-diff should be nil, got %v", got)
+	}
+	// Limit respected.
+	if got := a.DiffMultiset(b, 1); len(got) != 1 {
+		t.Errorf("limit ignored: %v", got)
+	}
+}
+
+func TestSortRows(t *testing.T) {
+	rows := Rows{
+		{NewInt(2), NewString("b")},
+		{NewInt(1), NewString("z")},
+		{NewInt(2), NewString("a")},
+	}
+	SortRows(rows, []int{0, 1})
+	want := Rows{
+		{NewInt(1), NewString("z")},
+		{NewInt(2), NewString("a")},
+		{NewInt(2), NewString("b")},
+	}
+	for i := range want {
+		if rows[i].Key() != want[i].Key() {
+			t.Fatalf("row %d = %v, want %v", i, rows[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,257 @@
+package data
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+)
+
+// Recordset is any data store that provides a flat record schema (paper
+// §2.1). Source recordsets are scanned; target recordsets are loaded.
+type Recordset interface {
+	// Name returns the recordset's unique name within a workflow.
+	Name() string
+	// Schema returns the flat record schema.
+	Schema() Schema
+	// Scan returns all records. Implementations return a fresh slice whose
+	// records the caller may retain but must not mutate.
+	Scan() (Rows, error)
+	// Load appends records to the recordset.
+	Load(rows Rows) error
+	// Truncate removes all records.
+	Truncate() error
+	// Count returns the number of stored records.
+	Count() (int, error)
+}
+
+// MemoryRecordset is an in-memory relational table. It is safe for
+// concurrent use.
+type MemoryRecordset struct {
+	name   string
+	schema Schema
+
+	mu   sync.RWMutex
+	rows Rows
+}
+
+// NewMemoryRecordset creates an empty in-memory table.
+func NewMemoryRecordset(name string, schema Schema) *MemoryRecordset {
+	return &MemoryRecordset{name: name, schema: schema.Clone()}
+}
+
+// Name implements Recordset.
+func (m *MemoryRecordset) Name() string { return m.name }
+
+// Schema implements Recordset.
+func (m *MemoryRecordset) Schema() Schema { return m.schema.Clone() }
+
+// Scan implements Recordset.
+func (m *MemoryRecordset) Scan() (Rows, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make(Rows, len(m.rows))
+	copy(out, m.rows)
+	return out, nil
+}
+
+// Load implements Recordset. Each record must match the schema's arity.
+func (m *MemoryRecordset) Load(rows Rows) error {
+	for i, r := range rows {
+		if len(r) != len(m.schema) {
+			return fmt.Errorf("recordset %s: record %d has %d values, schema has %d attributes",
+				m.name, i, len(r), len(m.schema))
+		}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rows = append(m.rows, rows...)
+	return nil
+}
+
+// Truncate implements Recordset.
+func (m *MemoryRecordset) Truncate() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rows = nil
+	return nil
+}
+
+// Count implements Recordset.
+func (m *MemoryRecordset) Count() (int, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.rows), nil
+}
+
+// MustLoad loads rows and panics on error; intended for tests and examples.
+func (m *MemoryRecordset) MustLoad(rows Rows) *MemoryRecordset {
+	if err := m.Load(rows); err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// FileRecordset is a CSV-backed record file with a header row. It fulfils
+// the paper's second popular recordset kind (§2.1). All operations read or
+// rewrite the file; it is not safe for concurrent use across processes.
+type FileRecordset struct {
+	name   string
+	schema Schema
+	path   string
+}
+
+// NewFileRecordset opens or creates a CSV record file at path. If the file
+// exists, its header must match schema; if it does not exist, it is created
+// with the header.
+func NewFileRecordset(name string, schema Schema, path string) (*FileRecordset, error) {
+	f := &FileRecordset{name: name, schema: schema.Clone(), path: path}
+	if _, err := os.Stat(path); os.IsNotExist(err) {
+		if err := f.writeAll(nil); err != nil {
+			return nil, err
+		}
+		return f, nil
+	}
+	header, err := f.readHeader()
+	if err != nil {
+		return nil, err
+	}
+	if !Schema(header).Equal(schema) {
+		return nil, fmt.Errorf("record file %s: header %v does not match schema %v", path, header, schema)
+	}
+	return f, nil
+}
+
+// Name implements Recordset.
+func (f *FileRecordset) Name() string { return f.name }
+
+// Schema implements Recordset.
+func (f *FileRecordset) Schema() Schema { return f.schema.Clone() }
+
+func (f *FileRecordset) readHeader() ([]string, error) {
+	fh, err := os.Open(f.path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	r := csv.NewReader(fh)
+	header, err := r.Read()
+	if err != nil {
+		return nil, fmt.Errorf("record file %s: reading header: %w", f.path, err)
+	}
+	return header, nil
+}
+
+// Scan implements Recordset.
+func (f *FileRecordset) Scan() (Rows, error) {
+	fh, err := os.Open(f.path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	r := csv.NewReader(fh)
+	if _, err := r.Read(); err != nil { // header
+		if err == io.EOF {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var rows Rows
+	for {
+		fields, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("record file %s: %w", f.path, err)
+		}
+		rec := make(Record, len(fields))
+		for i, s := range fields {
+			rec[i] = ParseValue(s)
+		}
+		rows = append(rows, rec)
+	}
+	return rows, nil
+}
+
+// Load implements Recordset by appending rows to the CSV file.
+func (f *FileRecordset) Load(rows Rows) error {
+	for i, r := range rows {
+		if len(r) != len(f.schema) {
+			return fmt.Errorf("record file %s: record %d has %d values, schema has %d attributes",
+				f.name, i, len(r), len(f.schema))
+		}
+	}
+	fh, err := os.OpenFile(f.path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	w := csv.NewWriter(fh)
+	for _, rec := range rows {
+		if err := w.Write(recordFields(rec)); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+// Truncate implements Recordset by rewriting the file with only the header.
+func (f *FileRecordset) Truncate() error { return f.writeAll(nil) }
+
+// Count implements Recordset.
+func (f *FileRecordset) Count() (int, error) {
+	rows, err := f.Scan()
+	if err != nil {
+		return 0, err
+	}
+	return len(rows), nil
+}
+
+func (f *FileRecordset) writeAll(rows Rows) error {
+	fh, err := os.Create(f.path)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	w := csv.NewWriter(fh)
+	if err := w.Write(f.schema); err != nil {
+		return err
+	}
+	for _, rec := range rows {
+		if err := w.Write(recordFields(rec)); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func recordFields(rec Record) []string {
+	fields := make([]string, len(rec))
+	for i, v := range rec {
+		if v.IsNull() {
+			fields[i] = "NULL"
+		} else {
+			fields[i] = v.String()
+		}
+	}
+	return fields
+}
+
+// SortRows sorts rows in place by the given attribute positions, using
+// Value.Compare lexicographically. It is a stable sort so that equal keys
+// preserve input order.
+func SortRows(rows Rows, positions []int) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, p := range positions {
+			if c := rows[i][p].Compare(rows[j][p]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+}

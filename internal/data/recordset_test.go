@@ -1,0 +1,160 @@
+package data
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestMemoryRecordsetBasics(t *testing.T) {
+	rs := NewMemoryRecordset("T", Schema{"A", "B"})
+	if rs.Name() != "T" {
+		t.Errorf("Name = %q", rs.Name())
+	}
+	if n, _ := rs.Count(); n != 0 {
+		t.Errorf("empty Count = %d", n)
+	}
+	rows := Rows{
+		{NewInt(1), NewString("x")},
+		{NewInt(2), Null},
+	}
+	if err := rs.Load(rows); err != nil {
+		t.Fatal(err)
+	}
+	got, err := rs.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualMultiset(rows) {
+		t.Errorf("Scan = %v", got)
+	}
+	if err := rs.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := rs.Count(); n != 0 {
+		t.Errorf("Count after truncate = %d", n)
+	}
+}
+
+func TestMemoryRecordsetArityCheck(t *testing.T) {
+	rs := NewMemoryRecordset("T", Schema{"A", "B"})
+	if err := rs.Load(Rows{{NewInt(1)}}); err == nil {
+		t.Error("loading a 1-value record into a 2-attribute schema should fail")
+	}
+}
+
+func TestMemoryRecordsetSchemaIsolated(t *testing.T) {
+	schema := Schema{"A"}
+	rs := NewMemoryRecordset("T", schema)
+	schema[0] = "MUTATED"
+	if rs.Schema()[0] != "A" {
+		t.Error("recordset shares caller's schema storage")
+	}
+	got := rs.Schema()
+	got[0] = "ALSO-MUTATED"
+	if rs.Schema()[0] != "A" {
+		t.Error("Schema() exposes internal storage")
+	}
+}
+
+func TestMemoryRecordsetConcurrentLoad(t *testing.T) {
+	rs := NewMemoryRecordset("T", Schema{"A"})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if err := rs.Load(Rows{{NewInt(int64(i*100 + j))}}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if n, _ := rs.Count(); n != 400 {
+		t.Errorf("Count = %d, want 400", n)
+	}
+}
+
+func TestFileRecordsetRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "parts.csv")
+	schema := Schema{"PKEY", "COST", "NOTE"}
+	rs, err := NewFileRecordset("PARTS", schema, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := Rows{
+		{NewInt(1), NewFloat(9.5), NewString("ok")},
+		{NewInt(2), Null, NewString("missing cost")},
+		{NewInt(3), NewFloat(120), NewString("")},
+	}
+	if err := rs.Load(rows); err != nil {
+		t.Fatal(err)
+	}
+	got, err := rs.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("Scan returned %d rows", len(got))
+	}
+	if !got[1][1].IsNull() {
+		t.Errorf("NULL did not round trip: %v", got[1][1])
+	}
+	if got[0][1].Float() != 9.5 {
+		t.Errorf("float did not round trip: %v", got[0][1])
+	}
+
+	// Reopen against the same file: header must match.
+	rs2, err := NewFileRecordset("PARTS", schema, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := rs2.Count(); n != 3 {
+		t.Errorf("reopened Count = %d", n)
+	}
+
+	// Mismatched schema must be rejected.
+	if _, err := NewFileRecordset("PARTS", Schema{"X"}, path); err == nil {
+		t.Error("reopening with a different schema should fail")
+	}
+}
+
+func TestFileRecordsetTruncate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.csv")
+	rs, err := NewFileRecordset("T", Schema{"A"}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Load(Rows{{NewInt(1)}, {NewInt(2)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := rs.Count(); n != 0 {
+		t.Errorf("Count after truncate = %d", n)
+	}
+	// The header must survive truncation.
+	rows, err := rs.Scan()
+	if err != nil || rows != nil {
+		t.Errorf("Scan after truncate = %v, %v", rows, err)
+	}
+}
+
+func TestFileRecordsetEmptyScan(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "e.csv")
+	rs, err := NewFileRecordset("E", Schema{"A", "B"}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := rs.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Errorf("empty file Scan = %v", rows)
+	}
+}

@@ -1,0 +1,298 @@
+// Package data provides the record-level substrate of the ETL system:
+// typed scalar values, records, record schemas and recordsets (in-memory
+// tables and CSV-backed record files).
+//
+// The paper (§2.1) defines a recordset as "any data store that can provide a
+// flat record schema"; the two concrete kinds implemented here are the two
+// the paper names as most popular: relational tables (MemoryRecordset) and
+// record files (FileRecordset).
+package data
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind enumerates the scalar types a Value can hold. The zero Kind is
+// KindNull, so the zero Value is a typed SQL-style NULL.
+type Kind uint8
+
+// The supported value kinds.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+	KindDate
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	case KindDate:
+		return "date"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is a compact tagged union holding one scalar datum flowing through
+// an ETL workflow. Values are immutable by convention: activities construct
+// new Values rather than mutating ones they received.
+//
+// Dates are stored as days since the Unix epoch in the integer payload,
+// which keeps Value free of pointers and cheap to copy.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+}
+
+// Null is the NULL value.
+var Null = Value{}
+
+// NewInt returns an integer value.
+func NewInt(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// NewFloat returns a floating-point value.
+func NewFloat(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// NewString returns a string value.
+func NewString(v string) Value { return Value{kind: KindString, s: v} }
+
+// NewBool returns a boolean value.
+func NewBool(v bool) Value {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Value{kind: KindBool, i: i}
+}
+
+// NewDate returns a date value for the given civil date.
+func NewDate(year int, month time.Month, day int) Value {
+	t := time.Date(year, month, day, 0, 0, 0, 0, time.UTC)
+	return Value{kind: KindDate, i: t.Unix() / 86400}
+}
+
+// NewDateFromDays returns a date value holding the given count of days since
+// the Unix epoch.
+func NewDateFromDays(days int64) Value { return Value{kind: KindDate, i: days} }
+
+// Kind reports the kind of the value.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Int returns the integer payload. It is valid only for KindInt values;
+// for other kinds it returns a best-effort coercion (0 for non-numerics).
+func (v Value) Int() int64 {
+	switch v.kind {
+	case KindInt, KindBool, KindDate:
+		return v.i
+	case KindFloat:
+		return int64(v.f)
+	default:
+		return 0
+	}
+}
+
+// Float returns the value as a float64, coercing integers.
+func (v Value) Float() float64 {
+	switch v.kind {
+	case KindFloat:
+		return v.f
+	case KindInt, KindBool, KindDate:
+		return float64(v.i)
+	default:
+		return 0
+	}
+}
+
+// Str returns the string payload for KindString values and a formatted
+// rendering for every other kind.
+func (v Value) Str() string {
+	if v.kind == KindString {
+		return v.s
+	}
+	return v.String()
+}
+
+// Bool returns the boolean payload; non-bool kinds report false except
+// non-zero numerics, which report true.
+func (v Value) Bool() bool {
+	switch v.kind {
+	case KindBool, KindInt:
+		return v.i != 0
+	case KindFloat:
+		return v.f != 0
+	default:
+		return false
+	}
+}
+
+// Days returns the date payload in days since the Unix epoch.
+func (v Value) Days() int64 { return v.i }
+
+// Time returns the date payload as a UTC time.Time at midnight.
+func (v Value) Time() time.Time {
+	return time.Unix(v.i*86400, 0).UTC()
+}
+
+// IsNumeric reports whether the value is an int or float.
+func (v Value) IsNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// String renders the value for display and for CSV serialization.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return v.s
+	case KindBool:
+		if v.i != 0 {
+			return "true"
+		}
+		return "false"
+	case KindDate:
+		return v.Time().Format("2006-01-02")
+	default:
+		return "?"
+	}
+}
+
+// Equal reports deep equality of two values. NULL equals only NULL
+// (this is identity-based equality for grouping and set operations, not
+// SQL ternary comparison; predicates handle NULL separately).
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		// Allow int/float cross-kind numeric equality so that, e.g., an
+		// aggregation producing floats compares equal to integer input.
+		if v.IsNumeric() && o.IsNumeric() {
+			return v.Float() == o.Float()
+		}
+		return false
+	}
+	switch v.kind {
+	case KindNull:
+		return true
+	case KindFloat:
+		return v.f == o.f || (math.IsNaN(v.f) && math.IsNaN(o.f))
+	case KindString:
+		return v.s == o.s
+	default:
+		return v.i == o.i
+	}
+}
+
+// Compare orders two values: -1 if v < o, 0 if equal, +1 if v > o.
+// NULL sorts before every non-NULL value. Cross-kind numeric comparison
+// coerces to float64; otherwise kinds are ordered by their Kind tag.
+func (v Value) Compare(o Value) int {
+	if v.kind == KindNull || o.kind == KindNull {
+		switch {
+		case v.kind == o.kind:
+			return 0
+		case v.kind == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if v.IsNumeric() && o.IsNumeric() {
+		a, b := v.Float(), o.Float()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if v.kind != o.kind {
+		switch {
+		case v.kind < o.kind:
+			return -1
+		default:
+			return 1
+		}
+	}
+	switch v.kind {
+	case KindString:
+		return strings.Compare(v.s, o.s)
+	case KindBool, KindDate:
+		switch {
+		case v.i < o.i:
+			return -1
+		case v.i > o.i:
+			return 1
+		default:
+			return 0
+		}
+	default:
+		return 0
+	}
+}
+
+// Key returns a string usable as a map key that distinguishes values the
+// way Equal does. Numeric values of equal magnitude share a key.
+func (v Value) Key() string {
+	switch v.kind {
+	case KindNull:
+		return "\x00"
+	case KindInt, KindFloat:
+		return "n:" + strconv.FormatFloat(v.Float(), 'g', -1, 64)
+	case KindString:
+		return "s:" + v.s
+	case KindBool:
+		return "b:" + strconv.FormatInt(v.i, 10)
+	case KindDate:
+		return "d:" + strconv.FormatInt(v.i, 10)
+	default:
+		return "?"
+	}
+}
+
+// ParseValue parses s into the most specific kind it matches: empty string
+// and "NULL" parse as NULL, then int, float, bool, ISO date, else string.
+func ParseValue(s string) Value {
+	switch s {
+	case "", "NULL", "null":
+		return Null
+	case "true":
+		return NewBool(true)
+	case "false":
+		return NewBool(false)
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return NewInt(i)
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return NewFloat(f)
+	}
+	if t, err := time.Parse("2006-01-02", s); err == nil {
+		return NewDateFromDays(t.Unix() / 86400)
+	}
+	return NewString(s)
+}

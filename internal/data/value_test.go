@@ -1,0 +1,198 @@
+package data
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestValueKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+		str  string
+	}{
+		{Null, KindNull, "NULL"},
+		{NewInt(42), KindInt, "42"},
+		{NewInt(-7), KindInt, "-7"},
+		{NewFloat(3.5), KindFloat, "3.5"},
+		{NewString("abc"), KindString, "abc"},
+		{NewBool(true), KindBool, "true"},
+		{NewBool(false), KindBool, "false"},
+		{NewDate(2004, time.March, 1), KindDate, "2004-03-01"},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v: kind = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+		if c.v.String() != c.str {
+			t.Errorf("%v: String = %q, want %q", c.v, c.v.String(), c.str)
+		}
+	}
+}
+
+func TestValueIsNull(t *testing.T) {
+	if !Null.IsNull() {
+		t.Error("Null.IsNull() = false")
+	}
+	if NewInt(0).IsNull() {
+		t.Error("NewInt(0).IsNull() = true")
+	}
+	var zero Value
+	if !zero.IsNull() {
+		t.Error("zero Value should be NULL")
+	}
+}
+
+func TestValueCoercions(t *testing.T) {
+	if got := NewInt(5).Float(); got != 5.0 {
+		t.Errorf("NewInt(5).Float() = %v", got)
+	}
+	if got := NewFloat(5.9).Int(); got != 5 {
+		t.Errorf("NewFloat(5.9).Int() = %v", got)
+	}
+	if got := NewBool(true).Int(); got != 1 {
+		t.Errorf("NewBool(true).Int() = %v", got)
+	}
+	if NewInt(3).Bool() != true || NewInt(0).Bool() != false {
+		t.Error("int Bool coercion wrong")
+	}
+	if Null.Bool() {
+		t.Error("Null.Bool() = true")
+	}
+}
+
+func TestValueEqualCrossKindNumeric(t *testing.T) {
+	if !NewInt(5).Equal(NewFloat(5)) {
+		t.Error("int 5 should equal float 5")
+	}
+	if NewInt(5).Equal(NewFloat(5.5)) {
+		t.Error("int 5 should not equal float 5.5")
+	}
+	if NewInt(1).Equal(NewBool(true)) {
+		t.Error("int 1 should not equal bool true")
+	}
+	if !Null.Equal(Null) {
+		t.Error("NULL should equal NULL under multiset identity")
+	}
+	if Null.Equal(NewInt(0)) {
+		t.Error("NULL should not equal 0")
+	}
+}
+
+func TestValueEqualNaN(t *testing.T) {
+	nan := NewFloat(math.NaN())
+	if !nan.Equal(nan) {
+		t.Error("NaN should equal NaN under multiset identity")
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(1), 1},
+		{NewInt(2), NewInt(2), 0},
+		{NewInt(1), NewFloat(1.5), -1},
+		{NewFloat(2.5), NewInt(2), 1},
+		{NewString("a"), NewString("b"), -1},
+		{NewString("b"), NewString("b"), 0},
+		{Null, NewInt(-100), -1},
+		{NewInt(-100), Null, 1},
+		{Null, Null, 0},
+		{NewDate(2004, time.January, 1), NewDate(2004, time.February, 1), -1},
+		{NewBool(false), NewBool(true), -1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValueCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		return NewInt(a).Compare(NewInt(b)) == -NewInt(b).Compare(NewInt(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueKeyDistinguishes(t *testing.T) {
+	distinct := []Value{
+		Null, NewInt(0), NewInt(1), NewFloat(0.5), NewString(""),
+		NewString("0"), NewBool(false), NewBool(true), NewDate(2004, time.May, 5),
+	}
+	seen := map[string]Value{}
+	for _, v := range distinct {
+		k := v.Key()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("values %v and %v share key %q", prev, v, k)
+		}
+		seen[k] = v
+	}
+	// Numeric cross-kind equality shares keys by design.
+	if NewInt(5).Key() != NewFloat(5).Key() {
+		t.Error("int 5 and float 5 should share a key")
+	}
+}
+
+func TestValueKeyEqualConsistency(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := NewInt(a), NewInt(b)
+		return (va.Key() == vb.Key()) == va.Equal(vb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Value
+	}{
+		{"", Null},
+		{"NULL", Null},
+		{"null", Null},
+		{"42", NewInt(42)},
+		{"-3", NewInt(-3)},
+		{"2.5", NewFloat(2.5)},
+		{"true", NewBool(true)},
+		{"false", NewBool(false)},
+		{"2004-03-01", NewDate(2004, time.March, 1)},
+		{"hello", NewString("hello")},
+		{"01/02/2004", NewString("01/02/2004")},
+	}
+	for _, c := range cases {
+		got := ParseValue(c.in)
+		if !got.Equal(c.want) || got.Kind() != c.want.Kind() {
+			t.Errorf("ParseValue(%q) = %v (%v), want %v (%v)", c.in, got, got.Kind(), c.want, c.want.Kind())
+		}
+	}
+}
+
+func TestParseValueRoundTrip(t *testing.T) {
+	f := func(n int64) bool {
+		v := NewInt(n)
+		return ParseValue(v.String()).Equal(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDateRoundTrip(t *testing.T) {
+	v := NewDate(1999, time.December, 31)
+	if got := v.Time().Format("2006-01-02"); got != "1999-12-31" {
+		t.Errorf("date round trip = %q", got)
+	}
+	d := NewDateFromDays(v.Days())
+	if !d.Equal(v) {
+		t.Error("NewDateFromDays(Days()) != original")
+	}
+}

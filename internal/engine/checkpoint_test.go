@@ -1,0 +1,220 @@
+package engine
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"etlopt/internal/data"
+	"etlopt/internal/templates"
+	"etlopt/internal/workflow"
+)
+
+// failingRecordset wraps a recordset and fails Scan after a set number of
+// successful scans — a deterministic failure injector.
+type failingRecordset struct {
+	data.Recordset
+	failuresLeft *int
+}
+
+var errInjected = errors.New("injected source failure")
+
+func (f failingRecordset) Scan() (data.Rows, error) {
+	if *f.failuresLeft > 0 {
+		*f.failuresLeft--
+		return nil, errInjected
+	}
+	return f.Recordset.Scan()
+}
+
+func TestCheckpointRunCompletes(t *testing.T) {
+	sc := templates.Fig1Scenario(80, 240)
+	dir := filepath.Join(t.TempDir(), "stage")
+	cr, err := NewCheckpointRunner(New(sc.Bind()), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cr.Run(sc.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Matches a plain run exactly.
+	plain, err := New(sc.Bind()).Run(sc.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Targets["DW.PARTS"].EqualMultiset(plain.Targets["DW.PARTS"]) {
+		t.Error("checkpointed run differs from plain run")
+	}
+	// Success cleans the staging area.
+	staged, err := cr.Staged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(staged) != 0 {
+		t.Errorf("staging not cleared after success: %v", staged)
+	}
+}
+
+func TestCheckpointResumeAfterFailure(t *testing.T) {
+	sc := templates.Fig1Scenario(80, 240)
+	bindings := sc.Bind()
+
+	// PARTS2 fails on its first scan; PARTS1 succeeds, so branch 1 and the
+	// PARTS1 scan are staged before the run dies.
+	failures := 1
+	bindings["PARTS2"] = failingRecordset{Recordset: bindings["PARTS2"], failuresLeft: &failures}
+
+	dir := filepath.Join(t.TempDir(), "stage")
+	cr, err := NewCheckpointRunner(New(bindings), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cr.Run(sc.Graph); !errors.Is(err, errInjected) {
+		t.Fatalf("first run should fail with the injected error, got %v", err)
+	}
+	staged, err := cr.Staged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(staged) == 0 {
+		t.Fatal("nothing staged before the failure")
+	}
+
+	// The resume run must not re-scan PARTS1 (its stage exists) and must
+	// complete, producing exactly the plain result.
+	res, err := cr.Run(sc.Graph)
+	if err != nil {
+		t.Fatalf("resume failed: %v", err)
+	}
+	plain, err := New(sc.Bind()).Run(sc.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Targets["DW.PARTS"].EqualMultiset(plain.Targets["DW.PARTS"]) {
+		t.Error("resumed run differs from a clean run")
+	}
+}
+
+func TestCheckpointResumeSkipsCompletedWork(t *testing.T) {
+	// countingRecordset counts scans; after a failure mid-graph, resuming
+	// must not re-scan the already-staged source.
+	sc := templates.Fig1Scenario(50, 150)
+	bindings := sc.Bind()
+	scans := 0
+	bindings["PARTS1"] = countingRecordset{Recordset: bindings["PARTS1"], scans: &scans}
+	failures := 1
+	bindings["PARTS2"] = failingRecordset{Recordset: bindings["PARTS2"], failuresLeft: &failures}
+
+	dir := filepath.Join(t.TempDir(), "stage")
+	cr, err := NewCheckpointRunner(New(bindings), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr.Run(sc.Graph) // fails after staging PARTS1's scan
+	if scans != 1 {
+		t.Fatalf("PARTS1 scanned %d times before failure", scans)
+	}
+	if _, err := cr.Run(sc.Graph); err != nil {
+		t.Fatal(err)
+	}
+	if scans != 1 {
+		t.Errorf("resume re-scanned PARTS1 (%d scans); staged output should be reused", scans)
+	}
+}
+
+type countingRecordset struct {
+	data.Recordset
+	scans *int
+}
+
+func (c countingRecordset) Scan() (data.Rows, error) {
+	*c.scans++
+	return c.Recordset.Scan()
+}
+
+func TestCheckpointSignatureMismatchClearsStage(t *testing.T) {
+	sc := templates.Fig1Scenario(40, 120)
+	bindings := sc.Bind()
+	failures := 1
+	bindings["PARTS2"] = failingRecordset{Recordset: bindings["PARTS2"], failuresLeft: &failures}
+
+	dir := filepath.Join(t.TempDir(), "stage")
+	cr, err := NewCheckpointRunner(New(bindings), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr.Run(sc.Graph) // leaves stages behind
+
+	// A *different* workflow (one more activity) must not consume them.
+	g2 := sc.Graph.Clone()
+	var sigma workflow.NodeID
+	for _, id := range g2.Activities() {
+		if g2.Node(id).Act.Sem.Op == workflow.OpFilter {
+			sigma = id
+		}
+	}
+	extra := g2.AddActivity(templates.NotNull(0.99, "ECOST"))
+	consumer := g2.Consumers(sigma)[0]
+	g2.MustReplaceProvider(consumer, sigma, extra)
+	g2.MustAddEdge(sigma, extra)
+	if err := g2.RegenerateSchemata(); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := cr.Run(g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := New(sc.Bind()).Run(g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Targets["DW.PARTS"].EqualMultiset(plain.Targets["DW.PARTS"]) {
+		t.Error("stale stages leaked into a different workflow's run")
+	}
+}
+
+func TestCheckpointNullsSurviveStaging(t *testing.T) {
+	// NULLs and typed values must round-trip through the CSV stage. Use a
+	// workflow whose intermediate rows carry NULLs (no NN filter).
+	schema := data.Schema{"K", "V"}
+	g := workflow.NewGraph()
+	src := g.AddRecordset(&workflow.RecordsetRef{Name: "S", Schema: schema, Rows: 4, IsSource: true})
+	ref := g.AddActivity(templates.Reformat("a2edate", "K")) // pass-through on strings
+	tgt := g.AddRecordset(&workflow.RecordsetRef{Name: "T", Schema: schema, IsTarget: true})
+	g.MustAddEdge(src, ref)
+	g.MustAddEdge(ref, tgt)
+	if err := g.RegenerateSchemata(); err != nil {
+		t.Fatal(err)
+	}
+	rows := data.Rows{
+		{data.NewString("01/02/2004"), data.Null},
+		{data.NewString("03/04/2004"), data.NewFloat(2.5)},
+	}
+	bindings := map[string]data.Recordset{
+		"S": data.NewMemoryRecordset("S", schema).MustLoad(rows),
+	}
+	dir := filepath.Join(t.TempDir(), "stage")
+	cr, err := NewCheckpointRunner(New(bindings), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cr.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Targets["T"]
+	if len(got) != 2 {
+		t.Fatalf("rows = %v", got)
+	}
+	foundNull := false
+	for _, r := range got {
+		if r[1].IsNull() {
+			foundNull = true
+		}
+	}
+	if !foundNull {
+		t.Error("NULL lost in staging round trip")
+	}
+}

@@ -1,0 +1,261 @@
+// Package engine executes ETL workflows over real records. The paper
+// treats workflows as operational processes run in a nightly time window;
+// this package is that runtime substrate. Two execution modes are
+// provided: a materialized mode that evaluates nodes in topological order
+// (deterministic, easy to debug) and a pipelined mode that runs every
+// activity as a goroutine connected by channels, matching the paper's
+// observation that activities "are allowed to output data to one another"
+// without intermediate data stores.
+//
+// Beyond running workflows, the engine is the empirical half of the
+// correctness framework: two states are equivalent when, on the same
+// input, they load the same record multisets into every target (§3.4), and
+// the tests exercise every transition against this oracle.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"etlopt/internal/data"
+	"etlopt/internal/workflow"
+)
+
+// Mode selects the execution strategy.
+type Mode uint8
+
+// Execution modes.
+const (
+	// Materialized evaluates nodes one by one in topological order,
+	// materializing each node's full output.
+	Materialized Mode = iota
+	// Pipelined runs one goroutine per node, streaming records through
+	// channels; blocking operations (aggregations, duplicate checks,
+	// difference) buffer internally as needed.
+	Pipelined
+)
+
+// Engine executes workflows against bound recordsets.
+type Engine struct {
+	mode     Mode
+	bindings map[string]data.Recordset
+	batch    int
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithMode selects the execution mode (default Materialized).
+func WithMode(m Mode) Option { return func(e *Engine) { e.mode = m } }
+
+// WithBatchSize sets the pipelined mode's channel batch size (default 64).
+func WithBatchSize(n int) Option {
+	return func(e *Engine) {
+		if n > 0 {
+			e.batch = n
+		}
+	}
+}
+
+// New creates an engine over the given recordset bindings: every source
+// recordset and surrogate-key lookup referenced by a workflow must be
+// bound by name. Target recordsets may be bound (rows are loaded into
+// them) or unbound (rows are only reported in the RunResult).
+func New(bindings map[string]data.Recordset, opts ...Option) *Engine {
+	e := &Engine{
+		mode:     Materialized,
+		bindings: bindings,
+		batch:    64,
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// RunResult reports one workflow execution.
+type RunResult struct {
+	// Targets maps each target recordset name to the rows loaded into it.
+	Targets map[string]data.Rows
+	// NodeRows reports how many rows each node emitted — the engine's
+	// observability hook and the empirical counterpart of the cost model's
+	// cardinalities.
+	NodeRows map[workflow.NodeID]int
+	// Elapsed is the wall-clock execution time.
+	Elapsed time.Duration
+}
+
+// Run executes the workflow and returns the loaded target rows. The graph
+// must be validated and have regenerated schemata.
+func (e *Engine) Run(g *workflow.Graph) (*RunResult, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	start := time.Now()
+	var (
+		res *RunResult
+		err error
+	)
+	switch e.mode {
+	case Materialized:
+		res, err = e.runMaterialized(g)
+	case Pipelined:
+		res, err = e.runPipelined(g)
+	default:
+		return nil, fmt.Errorf("engine: unknown mode %d", e.mode)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// runMaterialized evaluates the graph node by node in topological order.
+func (e *Engine) runMaterialized(g *workflow.Graph) (*RunResult, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[workflow.NodeID]data.Rows, len(order))
+	res := &RunResult{
+		Targets:  make(map[string]data.Rows),
+		NodeRows: make(map[workflow.NodeID]int),
+	}
+	for _, id := range order {
+		n := g.Node(id)
+		switch n.Kind {
+		case workflow.KindRecordset:
+			preds := g.Providers(id)
+			if len(preds) == 0 {
+				rows, err := e.scanSource(n)
+				if err != nil {
+					return nil, err
+				}
+				out[id] = rows
+			} else {
+				rows := e.projectForTarget(out[preds[0]], g.Node(preds[0]).Out, n.RS.Schema)
+				out[id] = rows
+				res.Targets[n.RS.Name] = rows
+				if rs, ok := e.bindings[n.RS.Name]; ok {
+					if err := rs.Load(rows); err != nil {
+						return nil, fmt.Errorf("engine: loading target %s: %w", n.RS.Name, err)
+					}
+				}
+			}
+		case workflow.KindActivity:
+			preds := g.Providers(id)
+			inputs := make([]data.Rows, len(preds))
+			schemas := make([]data.Schema, len(preds))
+			for i, p := range preds {
+				inputs[i] = out[p]
+				schemas[i] = g.Node(p).Out
+			}
+			rows, err := e.execActivity(n, schemas, inputs)
+			if err != nil {
+				return nil, fmt.Errorf("engine: activity %d (%s): %w", id, n.Label(), err)
+			}
+			out[id] = rows
+		}
+		res.NodeRows[id] = len(out[id])
+	}
+	return res, nil
+}
+
+// scanSource reads a source recordset through its binding.
+func (e *Engine) scanSource(n *workflow.Node) (data.Rows, error) {
+	rs, ok := e.bindings[n.RS.Name]
+	if !ok {
+		return nil, fmt.Errorf("engine: source recordset %q not bound", n.RS.Name)
+	}
+	if !rs.Schema().SameSet(n.RS.Schema) {
+		return nil, fmt.Errorf("engine: source %q bound with schema {%s}, workflow declares {%s}",
+			n.RS.Name, data.Schema(rs.Schema()), n.RS.Schema)
+	}
+	rows, err := rs.Scan()
+	if err != nil {
+		return nil, fmt.Errorf("engine: scanning %s: %w", n.RS.Name, err)
+	}
+	// Re-project in case the binding's attribute order differs.
+	if !rs.Schema().Equal(n.RS.Schema) {
+		src := rs.Schema()
+		re := make(data.Rows, len(rows))
+		for i, r := range rows {
+			re[i] = r.Project(src, n.RS.Schema)
+		}
+		rows = re
+	}
+	return rows, nil
+}
+
+// projectForTarget lays provider rows out in the target recordset's
+// attribute order.
+func (e *Engine) projectForTarget(rows data.Rows, src, target data.Schema) data.Rows {
+	if src.Equal(target) {
+		return rows
+	}
+	out := make(data.Rows, len(rows))
+	for i, r := range rows {
+		out[i] = r.Project(src, target)
+	}
+	return out
+}
+
+// lookupTable materializes a surrogate-key lookup binding as a map from
+// production-key value to surrogate value. The lookup recordset's first
+// attribute is the production key, its second the surrogate.
+func (e *Engine) lookupTable(name string) (map[string]data.Value, error) {
+	rs, ok := e.bindings[name]
+	if !ok {
+		return nil, fmt.Errorf("lookup recordset %q not bound", name)
+	}
+	rows, err := rs.Scan()
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[string]data.Value, len(rows))
+	for _, r := range rows {
+		if len(r) < 2 {
+			return nil, fmt.Errorf("lookup %q: row %s has fewer than 2 attributes", name, r)
+		}
+		m[r[0].Key()] = r[1]
+	}
+	return m, nil
+}
+
+// keySet materializes a lookup binding as the set of its first-attribute
+// values (for lookup-based primary-key checks).
+func (e *Engine) keySet(name string) (map[string]bool, error) {
+	rs, ok := e.bindings[name]
+	if !ok {
+		return nil, fmt.Errorf("lookup recordset %q not bound", name)
+	}
+	rows, err := rs.Scan()
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[string]bool, len(rows))
+	for _, r := range rows {
+		var key string
+		for i, v := range r {
+			if i > 0 {
+				key += "\x1f"
+			}
+			key += v.Key()
+		}
+		m[key] = true
+	}
+	return m, nil
+}
+
+// SortTargets returns the target names of a result in sorted order, for
+// deterministic reporting.
+func (r *RunResult) SortTargets() []string {
+	names := make([]string, 0, len(r.Targets))
+	for n := range r.Targets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,491 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"etlopt/internal/algebra"
+	"etlopt/internal/data"
+	"etlopt/internal/workflow"
+)
+
+// execActivity runs one activity over fully materialized inputs. schemas
+// and inputs are aligned with the node's providers; the returned rows are
+// laid out by the node's derived output schema.
+func (e *Engine) execActivity(n *workflow.Node, schemas []data.Schema, inputs []data.Rows) (data.Rows, error) {
+	return e.execSem(n.Act, n.In, n.Out, schemas, inputs)
+}
+
+// execSem dispatches on the activity's semantics. in/out are the node's
+// derived schemata; schemas/inputs the provider layouts and rows.
+func (e *Engine) execSem(a *workflow.Activity, in []data.Schema, out data.Schema, schemas []data.Schema, inputs []data.Rows) (data.Rows, error) {
+	// Realign provider rows to the derived input schemata when layouts
+	// differ (possible after graph rewrites reorder attribute generation).
+	aligned := make([]data.Rows, len(inputs))
+	for i := range inputs {
+		aligned[i] = realign(inputs[i], schemas[i], in[i])
+	}
+	switch a.Sem.Op {
+	case workflow.OpFilter:
+		return e.execFilter(a, in[0], aligned[0])
+	case workflow.OpNotNull:
+		return e.execNotNull(a, in[0], aligned[0])
+	case workflow.OpPKCheck:
+		return e.execPKCheck(a, in[0], aligned[0])
+	case workflow.OpDistinct:
+		return e.execDistinct(aligned[0])
+	case workflow.OpProject:
+		return e.execProject(in[0], out, aligned[0])
+	case workflow.OpFunc:
+		return e.execFunc(a, in[0], out, aligned[0])
+	case workflow.OpAggregate:
+		return e.execAggregate(a, in[0], out, aligned[0])
+	case workflow.OpSurrogateKey:
+		return e.execSurrogateKey(a, in[0], out, aligned[0])
+	case workflow.OpMerged:
+		return e.execMerged(a, in[0], aligned[0])
+	case workflow.OpUnion:
+		return e.execUnion(in, out, aligned)
+	case workflow.OpJoin:
+		return e.execJoin(a, in, out, aligned)
+	case workflow.OpDiff:
+		return e.execDiff(a, in, aligned)
+	case workflow.OpIntersect:
+		return e.execIntersect(a, in, aligned)
+	default:
+		return nil, fmt.Errorf("unsupported operation %s", a.Sem.Op)
+	}
+}
+
+// realign reorders row values from layout src to layout dst; it is the
+// identity when the layouts already match.
+func realign(rows data.Rows, src, dst data.Schema) data.Rows {
+	if src.Equal(dst) {
+		return rows
+	}
+	out := make(data.Rows, len(rows))
+	for i, r := range rows {
+		out[i] = r.Project(src, dst)
+	}
+	return out
+}
+
+func (e *Engine) execFilter(a *workflow.Activity, schema data.Schema, rows data.Rows) (data.Rows, error) {
+	var out data.Rows
+	for _, r := range rows {
+		v, err := a.Sem.Pred.Eval(schema, r)
+		if err != nil {
+			return nil, err
+		}
+		if v.Bool() {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+func (e *Engine) execNotNull(a *workflow.Activity, schema data.Schema, rows data.Rows) (data.Rows, error) {
+	positions := make([]int, len(a.Sem.Attrs))
+	for i, attr := range a.Sem.Attrs {
+		p := schema.Index(attr)
+		if p < 0 {
+			return nil, fmt.Errorf("notnull: attribute %q not in schema {%s}", attr, schema)
+		}
+		positions[i] = p
+	}
+	var out data.Rows
+	for _, r := range rows {
+		keep := true
+		for _, p := range positions {
+			if r[p].IsNull() {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// execPKCheck enforces a primary key. Lookup-based checks (Sem.Lookup set)
+// reject rows whose key tuple already exists in the lookup recordset — a
+// per-row, order-insensitive test. Group-based checks reject every row of
+// a key group with more than one member, which is likewise insensitive to
+// input order (a requirement for transition correctness).
+func (e *Engine) execPKCheck(a *workflow.Activity, schema data.Schema, rows data.Rows) (data.Rows, error) {
+	positions := make([]int, len(a.Sem.Attrs))
+	for i, attr := range a.Sem.Attrs {
+		p := schema.Index(attr)
+		if p < 0 {
+			return nil, fmt.Errorf("pkcheck: attribute %q not in schema {%s}", attr, schema)
+		}
+		positions[i] = p
+	}
+	keyOf := func(r data.Record) string {
+		var b strings.Builder
+		for i, p := range positions {
+			if i > 0 {
+				b.WriteByte('\x1f')
+			}
+			b.WriteString(r[p].Key())
+		}
+		return b.String()
+	}
+	var out data.Rows
+	if a.Sem.Lookup != "" {
+		existing, err := e.keySet(a.Sem.Lookup)
+		if err != nil {
+			return nil, fmt.Errorf("pkcheck: %w", err)
+		}
+		for _, r := range rows {
+			if !existing[keyOf(r)] {
+				out = append(out, r)
+			}
+		}
+		return out, nil
+	}
+	counts := make(map[string]int, len(rows))
+	for _, r := range rows {
+		counts[keyOf(r)]++
+	}
+	for _, r := range rows {
+		if counts[keyOf(r)] == 1 {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// execDistinct removes exact duplicate records, keeping the first
+// occurrence of each distinct record. Because survivors are identical to
+// their duplicates, the output multiset is independent of input order.
+func (e *Engine) execDistinct(rows data.Rows) (data.Rows, error) {
+	seen := make(map[string]bool, len(rows))
+	var out data.Rows
+	for _, r := range rows {
+		k := r.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+func (e *Engine) execProject(in, out data.Schema, rows data.Rows) (data.Rows, error) {
+	res := make(data.Rows, len(rows))
+	for i, r := range rows {
+		res[i] = r.Project(in, out)
+	}
+	return res, nil
+}
+
+func (e *Engine) execFunc(a *workflow.Activity, in, out data.Schema, rows data.Rows) (data.Rows, error) {
+	fn, ok := algebra.LookupFunc(a.Sem.Fn)
+	if !ok {
+		return nil, fmt.Errorf("unknown function %q", a.Sem.Fn)
+	}
+	argPos := make([]int, len(a.Sem.FnArgs))
+	for i, attr := range a.Sem.FnArgs {
+		p := in.Index(attr)
+		if p < 0 {
+			return nil, fmt.Errorf("function arg %q not in schema {%s}", attr, in)
+		}
+		argPos[i] = p
+	}
+	outPos := out.Index(a.Sem.OutAttr)
+	if outPos < 0 {
+		return nil, fmt.Errorf("output attribute %q not in schema {%s}", a.Sem.OutAttr, out)
+	}
+	res := make(data.Rows, len(rows))
+	args := make([]data.Value, len(argPos))
+	for i, r := range rows {
+		for j, p := range argPos {
+			args[j] = r[p]
+		}
+		v, err := fn.Apply(args)
+		if err != nil {
+			return nil, err
+		}
+		nr := r.Project(in, out)
+		nr[outPos] = v
+		res[i] = nr
+	}
+	return res, nil
+}
+
+// aggState accumulates one group.
+type aggState struct {
+	rep   data.Record // representative grouper values (laid out by out schema)
+	sum   float64
+	count int64 // rows contributing a non-NULL aggregated value
+	rows  int64 // all rows in the group
+	min   data.Value
+	max   data.Value
+	any   bool
+	order int // first-seen order for deterministic output
+}
+
+func (e *Engine) execAggregate(a *workflow.Activity, in, out data.Schema, rows data.Rows) (data.Rows, error) {
+	groupPos := make([]int, 0, len(a.Sem.Attrs))
+	for _, attr := range a.Sem.Attrs {
+		p := in.Index(attr)
+		if p < 0 {
+			return nil, fmt.Errorf("grouper %q not in schema {%s}", attr, in)
+		}
+		groupPos = append(groupPos, p)
+	}
+	aggPos := -1
+	if a.Sem.Agg != workflow.AggCount {
+		aggPos = in.Index(a.Sem.AggAttr)
+		if aggPos < 0 {
+			return nil, fmt.Errorf("aggregated attribute %q not in schema {%s}", a.Sem.AggAttr, in)
+		}
+	}
+	outPos := out.Index(a.Sem.OutAttr)
+	if outPos < 0 {
+		return nil, fmt.Errorf("output attribute %q not in schema {%s}", a.Sem.OutAttr, out)
+	}
+
+	groups := make(map[string]*aggState)
+	var orderCounter int
+	for _, r := range rows {
+		var b strings.Builder
+		for i, p := range groupPos {
+			if i > 0 {
+				b.WriteByte('\x1f')
+			}
+			b.WriteString(r[p].Key())
+		}
+		k := b.String()
+		st, ok := groups[k]
+		if !ok {
+			st = &aggState{rep: r.Project(in, out), order: orderCounter}
+			orderCounter++
+			groups[k] = st
+		}
+		st.rows++
+		if aggPos >= 0 {
+			v := r[aggPos]
+			if !v.IsNull() {
+				st.count++
+				f := v.Float()
+				st.sum += f
+				if !st.any || v.Compare(st.min) < 0 {
+					st.min = v
+				}
+				if !st.any || v.Compare(st.max) > 0 {
+					st.max = v
+				}
+				st.any = true
+			}
+		}
+	}
+
+	res := make(data.Rows, len(groups))
+	for _, st := range groups {
+		var v data.Value
+		switch a.Sem.Agg {
+		case workflow.AggSum:
+			if st.any {
+				v = data.NewFloat(st.sum)
+			} else {
+				v = data.Null
+			}
+		case workflow.AggCount:
+			v = data.NewInt(st.rows)
+		case workflow.AggMin:
+			if st.any {
+				v = st.min
+			} else {
+				v = data.Null
+			}
+		case workflow.AggMax:
+			if st.any {
+				v = st.max
+			} else {
+				v = data.Null
+			}
+		case workflow.AggAvg:
+			if st.count > 0 {
+				v = data.NewFloat(st.sum / float64(st.count))
+			} else {
+				v = data.Null
+			}
+		}
+		rec := st.rep.Clone()
+		rec[outPos] = v
+		res[st.order] = rec
+	}
+	return res, nil
+}
+
+func (e *Engine) execSurrogateKey(a *workflow.Activity, in, out data.Schema, rows data.Rows) (data.Rows, error) {
+	table, err := e.lookupTable(a.Sem.Lookup)
+	if err != nil {
+		return nil, fmt.Errorf("surrogate key: %w", err)
+	}
+	keyPos := in.Index(a.Sem.KeyAttr)
+	if keyPos < 0 {
+		return nil, fmt.Errorf("production key %q not in schema {%s}", a.Sem.KeyAttr, in)
+	}
+	outPos := out.Index(a.Sem.OutAttr)
+	if outPos < 0 {
+		return nil, fmt.Errorf("surrogate attribute %q not in schema {%s}", a.Sem.OutAttr, out)
+	}
+	res := make(data.Rows, len(rows))
+	for i, r := range rows {
+		sk, ok := table[r[keyPos].Key()]
+		if !ok {
+			return nil, fmt.Errorf("surrogate key: production key %s missing from lookup %q",
+				r[keyPos], a.Sem.Lookup)
+		}
+		nr := r.Project(in, out)
+		nr[outPos] = sk
+		res[i] = nr
+	}
+	return res, nil
+}
+
+// execMerged runs a merged package's components in order, threading the
+// flow schema through each step.
+func (e *Engine) execMerged(a *workflow.Activity, in data.Schema, rows data.Rows) (data.Rows, error) {
+	cur := rows
+	curSchema := in
+	for _, comp := range a.Sem.Components {
+		outSchema, err := componentOutput(comp, curSchema)
+		if err != nil {
+			return nil, err
+		}
+		cur, err = e.execSem(comp, []data.Schema{curSchema}, outSchema, []data.Schema{curSchema}, []data.Rows{cur})
+		if err != nil {
+			return nil, fmt.Errorf("merged component %s: %w", comp.Sem, err)
+		}
+		curSchema = outSchema
+	}
+	return cur, nil
+}
+
+// componentOutput derives a merged component's output schema from the
+// current flow schema, mirroring the workflow package's derivation.
+func componentOutput(a *workflow.Activity, in data.Schema) (data.Schema, error) {
+	tmp := workflow.NewGraph()
+	src := tmp.AddRecordset(&workflow.RecordsetRef{Name: "_in", Schema: in, IsSource: true})
+	act := tmp.AddActivity(a)
+	sink := tmp.AddRecordset(&workflow.RecordsetRef{Name: "_out", Schema: in})
+	tmp.MustAddEdge(src, act)
+	tmp.MustAddEdge(act, sink)
+	if err := tmp.RegenerateSchemata(); err != nil {
+		return nil, err
+	}
+	return tmp.Node(act).Out, nil
+}
+
+func (e *Engine) execUnion(in []data.Schema, out data.Schema, inputs []data.Rows) (data.Rows, error) {
+	res := make(data.Rows, 0, len(inputs[0])+len(inputs[1]))
+	res = append(res, realign(inputs[0], in[0], out)...)
+	res = append(res, realign(inputs[1], in[1], out)...)
+	return res, nil
+}
+
+func (e *Engine) execJoin(a *workflow.Activity, in []data.Schema, out data.Schema, inputs []data.Rows) (data.Rows, error) {
+	leftKey, err := keyPositions(in[0], a.Sem.Attrs)
+	if err != nil {
+		return nil, err
+	}
+	rightKey, err := keyPositions(in[1], a.Sem.Attrs)
+	if err != nil {
+		return nil, err
+	}
+	// Hash the right input.
+	index := make(map[string][]data.Record)
+	for _, r := range inputs[1] {
+		index[tupleKey(r, rightKey)] = append(index[tupleKey(r, rightKey)], r)
+	}
+	var res data.Rows
+	for _, l := range inputs[0] {
+		for _, r := range index[tupleKey(l, leftKey)] {
+			rec := make(data.Record, len(out))
+			for i, attr := range out {
+				if p := in[0].Index(attr); p >= 0 {
+					rec[i] = l[p]
+				} else if p := in[1].Index(attr); p >= 0 {
+					rec[i] = r[p]
+				} else {
+					rec[i] = data.Null
+				}
+			}
+			res = append(res, rec)
+		}
+	}
+	return res, nil
+}
+
+func (e *Engine) execDiff(a *workflow.Activity, in []data.Schema, inputs []data.Rows) (data.Rows, error) {
+	leftKey, err := keyPositions(in[0], a.Sem.Attrs)
+	if err != nil {
+		return nil, err
+	}
+	rightKey, err := keyPositions(in[1], a.Sem.Attrs)
+	if err != nil {
+		return nil, err
+	}
+	present := make(map[string]bool, len(inputs[1]))
+	for _, r := range inputs[1] {
+		present[tupleKey(r, rightKey)] = true
+	}
+	var res data.Rows
+	for _, l := range inputs[0] {
+		if !present[tupleKey(l, leftKey)] {
+			res = append(res, l)
+		}
+	}
+	return res, nil
+}
+
+func (e *Engine) execIntersect(a *workflow.Activity, in []data.Schema, inputs []data.Rows) (data.Rows, error) {
+	leftKey, err := keyPositions(in[0], a.Sem.Attrs)
+	if err != nil {
+		return nil, err
+	}
+	rightKey, err := keyPositions(in[1], a.Sem.Attrs)
+	if err != nil {
+		return nil, err
+	}
+	present := make(map[string]bool, len(inputs[1]))
+	for _, r := range inputs[1] {
+		present[tupleKey(r, rightKey)] = true
+	}
+	var res data.Rows
+	for _, l := range inputs[0] {
+		if present[tupleKey(l, leftKey)] {
+			res = append(res, l)
+		}
+	}
+	return res, nil
+}
+
+func keyPositions(schema data.Schema, attrs []string) ([]int, error) {
+	out := make([]int, len(attrs))
+	for i, a := range attrs {
+		p := schema.Index(a)
+		if p < 0 {
+			return nil, fmt.Errorf("key attribute %q not in schema {%s}", a, schema)
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+func tupleKey(r data.Record, positions []int) string {
+	var b strings.Builder
+	for i, p := range positions {
+		if i > 0 {
+			b.WriteByte('\x1f')
+		}
+		b.WriteString(r[p].Key())
+	}
+	return b.String()
+}

@@ -1,0 +1,260 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"etlopt/internal/data"
+	"etlopt/internal/workflow"
+)
+
+// runPipelined executes the workflow with one goroutine per node, records
+// streaming between activities in batches over channels — the paper's
+// pipelined combination of activities (§2.1) where providers feed
+// consumers directly with no intermediate data store.
+//
+// Streaming activities (selections, not-null and lookup-based key checks,
+// functions, projections, surrogate keys, unions) forward batch by batch;
+// blocking activities (aggregations, DISTINCT, group-based key checks,
+// joins, differences, intersections) buffer the inputs they need. Binary
+// activities always drain their inputs concurrently, which keeps diamonds
+// (one provider feeding two converging branches) deadlock-free.
+func (e *Engine) runPipelined(g *workflow.Graph) (*RunResult, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+
+	// One channel per edge.
+	type edge struct{ from, to workflow.NodeID }
+	chans := make(map[edge]chan data.Rows)
+	for _, id := range order {
+		for _, c := range g.Consumers(id) {
+			chans[edge{id, c}] = make(chan data.Rows, 4)
+		}
+	}
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		targets  = make(map[string]data.Rows)
+		nodeRows = make(map[workflow.NodeID]int)
+	)
+	done := make(chan struct{})
+	var closeOnce sync.Once
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		closeOnce.Do(func() { close(done) })
+	}
+	countRows := func(id workflow.NodeID, n int) {
+		mu.Lock()
+		nodeRows[id] += n
+		mu.Unlock()
+	}
+
+	// send forwards a batch to every consumer channel, aborting on failure.
+	send := func(id workflow.NodeID, batch data.Rows) bool {
+		if len(batch) == 0 {
+			return true
+		}
+		countRows(id, len(batch))
+		for _, c := range g.Consumers(id) {
+			select {
+			case chans[edge{id, c}] <- batch:
+			case <-done:
+				return false
+			}
+		}
+		return true
+	}
+	closeOut := func(id workflow.NodeID) {
+		for _, c := range g.Consumers(id) {
+			close(chans[edge{id, c}])
+		}
+	}
+	// drain collects the full content of one input edge.
+	drain := func(from, to workflow.NodeID) data.Rows {
+		var rows data.Rows
+		ch := chans[edge{from, to}]
+		for {
+			select {
+			case batch, ok := <-ch:
+				if !ok {
+					return rows
+				}
+				rows = append(rows, batch...)
+			case <-done:
+				return rows
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for _, id := range order {
+		n := g.Node(id)
+		wg.Add(1)
+		go func(id workflow.NodeID, n *workflow.Node) {
+			defer wg.Done()
+			preds := g.Providers(id)
+			switch {
+			case n.Kind == workflow.KindRecordset && len(preds) == 0:
+				// Source: scan and emit in batches.
+				defer closeOut(id)
+				rows, err := e.scanSource(n)
+				if err != nil {
+					fail(err)
+					return
+				}
+				for i := 0; i < len(rows); i += e.batch {
+					j := min(i+e.batch, len(rows))
+					if !send(id, rows[i:j]) {
+						return
+					}
+				}
+			case n.Kind == workflow.KindRecordset:
+				// Target: drain, project, load.
+				rows := drain(preds[0], id)
+				rows = e.projectForTarget(rows, g.Node(preds[0]).Out, n.RS.Schema)
+				countRows(id, len(rows))
+				mu.Lock()
+				targets[n.RS.Name] = rows
+				mu.Unlock()
+				if rs, ok := e.bindings[n.RS.Name]; ok {
+					if err := rs.Load(rows); err != nil {
+						fail(fmt.Errorf("engine: loading target %s: %w", n.RS.Name, err))
+					}
+				}
+			case streamable(n.Act):
+				defer closeOut(id)
+				inSchema := g.Node(preds[0]).Out
+				ch := chans[edge{preds[0], id}]
+				for {
+					var batch data.Rows
+					var ok bool
+					select {
+					case batch, ok = <-ch:
+						if !ok {
+							return
+						}
+					case <-done:
+						return
+					}
+					out, err := e.execSem(n.Act, n.In, n.Out, []data.Schema{inSchema}, []data.Rows{batch})
+					if err != nil {
+						fail(fmt.Errorf("engine: activity %d (%s): %w", id, n.Label(), err))
+						return
+					}
+					if !send(id, out) {
+						return
+					}
+				}
+			case n.Act.Sem.Op == workflow.OpUnion:
+				// Stream both inputs concurrently through a merged channel.
+				defer closeOut(id)
+				merged := make(chan data.Rows, 4)
+				var inWG sync.WaitGroup
+				for i, p := range preds {
+					inWG.Add(1)
+					go func(i int, p workflow.NodeID) {
+						defer inWG.Done()
+						src := g.Node(p).Out
+						ch := chans[edge{p, id}]
+						for {
+							select {
+							case batch, ok := <-ch:
+								if !ok {
+									return
+								}
+								select {
+								case merged <- realign(batch, src, n.Out):
+								case <-done:
+									return
+								}
+							case <-done:
+								return
+							}
+						}
+					}(i, p)
+				}
+				go func() { inWG.Wait(); close(merged) }()
+				for {
+					select {
+					case batch, ok := <-merged:
+						if !ok {
+							return
+						}
+						if !send(id, batch) {
+							return
+						}
+					case <-done:
+						return
+					}
+				}
+			default:
+				// Blocking activity: materialize inputs (concurrently for
+				// binaries) and run the materialized executor.
+				defer closeOut(id)
+				inputs := make([]data.Rows, len(preds))
+				schemas := make([]data.Schema, len(preds))
+				var inWG sync.WaitGroup
+				for i, p := range preds {
+					schemas[i] = g.Node(p).Out
+					inWG.Add(1)
+					go func(i int, p workflow.NodeID) {
+						defer inWG.Done()
+						inputs[i] = drain(p, id)
+					}(i, p)
+				}
+				inWG.Wait()
+				select {
+				case <-done:
+					return
+				default:
+				}
+				out, err := e.execActivity(n, schemas, inputs)
+				if err != nil {
+					fail(fmt.Errorf("engine: activity %d (%s): %w", id, n.Label(), err))
+					return
+				}
+				for i := 0; i < len(out); i += e.batch {
+					j := min(i+e.batch, len(out))
+					if !send(id, out[i:j]) {
+						return
+					}
+				}
+			}
+		}(id, n)
+	}
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return &RunResult{Targets: targets, NodeRows: nodeRows}, nil
+}
+
+// streamable reports whether an activity can process each batch
+// independently (stateless per record).
+func streamable(a *workflow.Activity) bool {
+	switch a.Sem.Op {
+	case workflow.OpFilter, workflow.OpNotNull, workflow.OpProject, workflow.OpFunc, workflow.OpSurrogateKey:
+		return true
+	case workflow.OpPKCheck:
+		return a.Sem.Lookup != ""
+	case workflow.OpMerged:
+		for _, comp := range a.Sem.Components {
+			if !streamable(comp) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,372 @@
+package generator
+
+import (
+	"fmt"
+
+	"etlopt/internal/algebra"
+	"etlopt/internal/data"
+	"etlopt/internal/templates"
+	"etlopt/internal/workflow"
+)
+
+// Attribute naming used by generated workflows. All names are reference
+// names (§3.1): RAWi denotes source-unit measures that a conversion maps to
+// Vi; CODE is a free-text code cleaned in place; DATE is an American-format
+// date reformatted in place; XTRAi are payload attributes projected out.
+const (
+	attrKey  = "KEY"
+	attrSKey = "SKEY"
+	attrCode = "CODE"
+	attrDate = "DATE"
+
+	lookupSK = "SKLOOKUP"
+	lookupPK = "DWKEYS"
+	dimName  = "DIM"
+	dimVal   = "DVAL"
+)
+
+func vAttr(i int) string    { return fmt.Sprintf("V%d", i+1) }
+func rawAttr(i int) string  { return fmt.Sprintf("RAW%d", i+1) }
+func xtraAttr(i int) string { return fmt.Sprintf("XTRA%d", i+1) }
+
+// build assembles the workflow and its data.
+func (b *builder) build() (*templates.Scenario, error) {
+	sc := &templates.Scenario{
+		Graph:   b.g,
+		Sources: map[string]data.Rows{},
+		Lookups: map[string]data.Rows{},
+		Schemas: map[string]data.Schema{},
+	}
+
+	// Branch construction: each branch ends with the common schema
+	// {KEY, V1..Vk, CODE, DATE}.
+	branchEnds := make([]workflow.NodeID, b.cfg.Branches)
+	for i := 0; i < b.cfg.Branches; i++ {
+		end, err := b.buildBranch(i, sc)
+		if err != nil {
+			return nil, err
+		}
+		branchEnds[i] = end
+	}
+
+	// Homologous tails: with probability HomologousProb, append the same
+	// filter to a pair of sibling branches right before their union —
+	// direct factorization candidates.
+	for i := 0; i+1 < len(branchEnds); i += 2 {
+		if b.rng.Float64() >= b.cfg.HomologousProb {
+			continue
+		}
+		act := b.homologousFilter()
+		id1 := b.g.AddActivity(act)
+		id2 := b.g.AddActivity(act)
+		b.g.MustAddEdge(branchEnds[i], id1)
+		b.g.MustAddEdge(branchEnds[i+1], id2)
+		branchEnds[i] = id1
+		branchEnds[i+1] = id2
+	}
+
+	// Left-deep union tree.
+	cur := branchEnds[0]
+	for i := 1; i < len(branchEnds); i++ {
+		u := b.g.AddActivity(templates.Union())
+		b.g.MustAddEdge(cur, u)
+		b.g.MustAddEdge(branchEnds[i], u)
+		cur = u
+	}
+
+	// Post-union pipeline.
+	cur, err := b.buildPostUnion(cur, sc)
+	if err != nil {
+		return nil, err
+	}
+
+	// Target: its schema is whatever the final activity delivers.
+	target := b.g.AddRecordset(&workflow.RecordsetRef{
+		Name:     "DW.FACT",
+		Schema:   data.Schema{attrKey}, // placeholder, fixed below
+		IsTarget: true,
+	})
+	b.g.MustAddEdge(cur, target)
+	if err := b.g.RegenerateSchemata(); err != nil {
+		return nil, fmt.Errorf("generator: regenerating: %w", err)
+	}
+	b.g.Node(target).RS.Schema = b.g.Node(cur).Out.Clone()
+	if err := b.g.RegenerateSchemata(); err != nil {
+		return nil, err
+	}
+	if err := b.g.Validate(); err != nil {
+		return nil, fmt.Errorf("generator: invalid workflow: %w", err)
+	}
+	if err := b.g.CheckWellFormed(); err != nil {
+		return nil, fmt.Errorf("generator: ill-formed workflow: %w", err)
+	}
+
+	b.buildLookups(sc)
+	return sc, nil
+}
+
+// buildBranch creates one source recordset and its cleaning pipeline,
+// returning the last activity of the branch.
+func (b *builder) buildBranch(idx int, sc *templates.Scenario) (workflow.NodeID, error) {
+	// Decide per-branch shape: which measures arrive raw (needing unit
+	// conversion) and how many extra attributes to project out.
+	raws := make([]bool, b.cfg.Values)
+	for i := range raws {
+		raws[i] = b.rng.Float64() < 0.5
+	}
+	extras := 1 + b.rng.Intn(2)
+
+	schema := data.Schema{attrKey}
+	for i := 0; i < b.cfg.Values; i++ {
+		if raws[i] {
+			schema = append(schema, rawAttr(i))
+		} else {
+			schema = append(schema, vAttr(i))
+		}
+	}
+	schema = append(schema, attrCode, attrDate)
+	for i := 0; i < extras; i++ {
+		schema = append(schema, xtraAttr(i))
+	}
+
+	name := fmt.Sprintf("SRC%d", idx+1)
+	rows := b.cfg.SourceRowsHint[0] +
+		b.rng.Float64()*(b.cfg.SourceRowsHint[1]-b.cfg.SourceRowsHint[0])
+	src := b.g.AddRecordset(&workflow.RecordsetRef{
+		Name: name, Schema: schema, Rows: rows, IsSource: true,
+	})
+	sc.Schemas[name] = schema.Clone()
+	sc.Sources[name] = b.sourceRows(schema)
+
+	// Mandatory activities: conversions for raw measures and the
+	// projection of extras. Optional activities fill up to the target
+	// count: not-null checks, filters, in-place reformats.
+	var acts []*workflow.Activity
+	if b.cfg.Chained {
+		// Rigid dependency chains: each raw measure contributes
+		// NN(RAW) → convert(RAW→V), and one converted measure gets a
+		// threshold — none of these pairs can legally swap, which keeps
+		// the state space small.
+		for i := 0; i < b.cfg.Values; i++ {
+			if raws[i] {
+				acts = append(acts,
+					templates.NotNull(b.sel(0.9, 1.0), rawAttr(i)),
+					templates.Convert("scale10", vAttr(i), rawAttr(i)))
+			}
+		}
+		i := b.rng.Intn(b.cfg.Values)
+		acts = append(acts, templates.Threshold(vAttr(i), float64(10+b.rng.Intn(120)), b.sel(0.3, 0.7)))
+	} else {
+		for i := 0; i < b.cfg.Values; i++ {
+			if raws[i] {
+				acts = append(acts, templates.Convert("scale10", vAttr(i), rawAttr(i)))
+			}
+		}
+	}
+	var extraNames []string
+	for i := 0; i < extras; i++ {
+		extraNames = append(extraNames, xtraAttr(i))
+	}
+	acts = append(acts, templates.ProjectOut(extraNames...))
+
+	if !b.cfg.Chained {
+		for len(acts) < b.cfg.BranchActivities {
+			acts = append(acts, b.randomBranchActivity(raws))
+		}
+		b.shuffleLegally(acts, raws)
+	}
+
+	cur := src
+	for _, a := range acts {
+		id := b.g.AddActivity(a)
+		b.g.MustAddEdge(cur, id)
+		cur = id
+	}
+	return cur, nil
+}
+
+// randomBranchActivity draws one optional cleaning activity. Activities
+// referencing Vi are only generated against measures that exist from the
+// source (non-raw) — the legal-order shuffle places raw-dependent ones
+// after their conversion.
+func (b *builder) randomBranchActivity(raws []bool) *workflow.Activity {
+	switch b.rng.Intn(5) {
+	case 0:
+		return templates.NotNull(b.sel(0.90, 1.0), attrKey)
+	case 1:
+		i := b.rng.Intn(len(raws))
+		return templates.NotNull(b.sel(0.90, 1.0), vAttr(i))
+	case 2:
+		i := b.rng.Intn(len(raws))
+		return templates.Threshold(vAttr(i), float64(10+b.rng.Intn(120)), b.sel(0.25, 0.7))
+	case 3:
+		return templates.Reformat("a2edate", attrDate)
+	default:
+		return templates.Apply("upper", attrCode, attrCode) // in-place clean
+	}
+}
+
+// homologousFilter draws the filter duplicated across sibling branches.
+func (b *builder) homologousFilter() *workflow.Activity {
+	i := b.rng.Intn(b.cfg.Values)
+	return templates.Threshold(vAttr(i), float64(20+b.rng.Intn(100)), b.sel(0.3, 0.8))
+}
+
+// shuffleLegally randomly permutes the branch activities, then repairs the
+// order so every activity referencing a converted measure follows its
+// conversion and the projection of extras can sit anywhere (extras are
+// never referenced).
+func (b *builder) shuffleLegally(acts []*workflow.Activity, raws []bool) {
+	b.rng.Shuffle(len(acts), func(i, j int) { acts[i], acts[j] = acts[j], acts[i] })
+	// Stable repair: for each converted measure, the conversion must come
+	// before any activity whose functionality schema mentions it.
+	for i := 0; i < b.cfg.Values; i++ {
+		if !raws[i] {
+			continue
+		}
+		convPos := -1
+		firstUse := len(acts)
+		for p, a := range acts {
+			if a.Sem.Op == workflow.OpFunc && a.Sem.OutAttr == vAttr(i) && !a.InPlace() {
+				convPos = p
+			} else if a.Fun.Has(vAttr(i)) && p < firstUse {
+				firstUse = p
+			}
+		}
+		if convPos >= 0 && convPos > firstUse {
+			// Move the conversion right before its first use.
+			conv := acts[convPos]
+			copy(acts[firstUse+1:convPos+1], acts[firstUse:convPos])
+			acts[firstUse] = conv
+		}
+	}
+}
+
+// buildPostUnion appends the converged pipeline: distributable selections
+// and key checks, surrogate key assignment, optional aggregation and an
+// optional dimension join.
+func (b *builder) buildPostUnion(cur workflow.NodeID, sc *templates.Scenario) (workflow.NodeID, error) {
+	add := func(a *workflow.Activity) {
+		id := b.g.AddActivity(a)
+		b.g.MustAddEdge(cur, id)
+		cur = id
+	}
+
+	// The surrogate key replaces KEY with SKEY; it and the key check are
+	// factorization/distribution material.
+	add(templates.SurrogateKey(attrKey, attrSKey, lookupSK))
+	add(templates.PKCheckAgainst(lookupPK, b.sel(0.8, 1.0), attrSKey))
+
+	budget := b.cfg.PostUnion - 2
+	for budget > 0 {
+		switch b.rng.Intn(3) {
+		case 0:
+			i := b.rng.Intn(b.cfg.Values)
+			add(templates.Threshold(vAttr(i), float64(10+b.rng.Intn(120)), b.sel(0.1, 0.5)))
+		case 1:
+			add(templates.NotNull(b.sel(0.9, 1.0), vAttr(b.rng.Intn(b.cfg.Values))))
+		default:
+			add(templates.Reformat("a2edate", attrDate))
+		}
+		budget--
+	}
+
+	if b.cfg.WithAggregate {
+		add(templates.Aggregate(
+			[]string{attrSKey, attrDate},
+			workflow.AggSum, vAttr(0), "TOT"+vAttr(0), b.sel(0.2, 0.5)))
+	}
+
+	if b.cfg.WithJoin {
+		dimSchema := data.Schema{attrSKey, dimVal}
+		dim := b.g.AddRecordset(&workflow.RecordsetRef{
+			Name: dimName, Schema: dimSchema, Rows: 1000, IsSource: true,
+		})
+		sc.Schemas[dimName] = dimSchema.Clone()
+		sc.Sources[dimName] = b.dimRows()
+		j := b.g.AddActivity(templates.Join(1.0/1000, attrSKey))
+		b.g.MustAddEdge(cur, j)
+		b.g.MustAddEdge(dim, j)
+		cur = j
+		// A selection on the join key: distributable over the join.
+		add(templates.Filter(algebra.Cmp{
+			Op:    algebra.GE,
+			Left:  algebra.Attr{Name: attrSKey},
+			Right: algebra.Const{Value: data.NewInt(1005)},
+		}, b.sel(0.5, 0.95)))
+	}
+	return cur, nil
+}
+
+// sel draws a selectivity uniformly from [lo, hi].
+func (b *builder) sel(lo, hi float64) float64 {
+	return lo + b.rng.Float64()*(hi-lo)
+}
+
+// sourceRows generates deterministic records for a branch source: keys in
+// the lookup domain, measures spanning filter thresholds with occasional
+// NULLs, mixed-case codes, American-format dates and payload extras.
+func (b *builder) sourceRows(schema data.Schema) data.Rows {
+	months := []string{"01/15/2004", "02/15/2004", "03/15/2004", "04/15/2004"}
+	codes := []string{"alpha", "Beta", "GAMMA", "delta ", "epsilon"}
+	rows := make(data.Rows, 0, b.cfg.DataRows)
+	for i := 0; i < b.cfg.DataRows; i++ {
+		rec := make(data.Record, len(schema))
+		for j, attr := range schema {
+			switch {
+			case attr == attrKey:
+				rec[j] = data.NewInt(int64(b.rng.Intn(keyDomain)))
+			case attr == attrCode:
+				rec[j] = data.NewString(codes[b.rng.Intn(len(codes))])
+			case attr == attrDate:
+				rec[j] = data.NewString(months[b.rng.Intn(len(months))])
+			case len(attr) > 3 && attr[:4] == "XTRA":
+				rec[j] = data.NewString(fmt.Sprintf("payload-%d", b.rng.Intn(50)))
+			default: // V* or RAW*
+				if b.rng.Float64() < 0.05 {
+					rec[j] = data.Null
+				} else {
+					rec[j] = data.NewFloat(float64(b.rng.Intn(2000)) / 10)
+				}
+			}
+		}
+		rows = append(rows, rec)
+	}
+	return rows
+}
+
+// keyDomain is the production-key domain; the SK lookup covers it fully so
+// surrogate resolution never fails.
+const keyDomain = 64
+
+// buildLookups populates the surrogate-key lookup, the warehouse key set
+// used by the lookup-based PK check, and the dimension rows.
+func (b *builder) buildLookups(sc *templates.Scenario) {
+	skSchema := data.Schema{attrKey, attrSKey}
+	sc.Schemas[lookupSK] = skSchema
+	rows := make(data.Rows, 0, keyDomain)
+	for k := 0; k < keyDomain; k++ {
+		rows = append(rows, data.Record{data.NewInt(int64(k)), data.NewInt(int64(1000 + k))})
+	}
+	sc.Lookups[lookupSK] = rows
+
+	pkSchema := data.Schema{attrSKey}
+	sc.Schemas[lookupPK] = pkSchema
+	var pkRows data.Rows
+	for k := 0; k < keyDomain/8; k++ {
+		pkRows = append(pkRows, data.Record{data.NewInt(int64(1000 + k*7%keyDomain))})
+	}
+	sc.Lookups[lookupPK] = pkRows
+}
+
+// dimRows generates the dimension table: one row per surrogate key.
+func (b *builder) dimRows() data.Rows {
+	rows := make(data.Rows, 0, keyDomain)
+	for k := 0; k < keyDomain; k++ {
+		rows = append(rows, data.Record{
+			data.NewInt(int64(1000 + k)),
+			data.NewString(fmt.Sprintf("dim-%d", k%7)),
+		})
+	}
+	return rows
+}

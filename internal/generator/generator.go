@@ -1,0 +1,136 @@
+// Package generator synthesizes ETL workflows for the experimental suite.
+// The paper evaluates on 40 proprietary workflows "categorized as small,
+// medium, and large, involving a range of 15 to 70 activities" (§4.2);
+// those workflows were never published, so this package substitutes a
+// seeded synthetic generator producing workflows in the same size bands
+// with the same structural features the transitions feed on: several
+// source branches with cleaning/conversion pipelines, homologous
+// activities across sibling branches (factorization candidates), a
+// union tree, and a post-union pipeline with distributable selections,
+// key checks, optional aggregation and an optional dimension join.
+//
+// Every generated scenario is executable: the generator also produces
+// deterministic source data, surrogate-key lookups and key sets, so the
+// empirical equivalence oracle can validate optimizations end to end.
+package generator
+
+import (
+	"fmt"
+	"math/rand"
+
+	"etlopt/internal/templates"
+	"etlopt/internal/workflow"
+)
+
+// Category is a workflow size band from §4.2.
+type Category int
+
+// The paper's categories with their average activity counts (Table 2).
+const (
+	// Small targets roughly 15-25 activities (paper average 20).
+	Small Category = iota
+	// Medium targets roughly 35-45 activities (paper average 40).
+	Medium
+	// Large targets roughly 60-75 activities (paper average 70).
+	Large
+)
+
+// String returns the category name as printed in the paper's tables.
+func (c Category) String() string {
+	switch c {
+	case Small:
+		return "small"
+	case Medium:
+		return "medium"
+	case Large:
+		return "large"
+	default:
+		return fmt.Sprintf("category(%d)", int(c))
+	}
+}
+
+// Config parameterizes workflow synthesis.
+type Config struct {
+	// Seed drives all randomness; equal configs generate equal scenarios.
+	Seed int64
+	// Branches is the number of source branches converging via unions.
+	Branches int
+	// BranchActivities is the approximate number of activities per branch.
+	BranchActivities int
+	// PostUnion is the approximate number of activities after the last
+	// union.
+	PostUnion int
+	// Values is the number of numeric measure attributes (V1..Vk).
+	Values int
+	// HomologousProb is the probability that a sibling branch receives a
+	// copy of a branch's filter (creating a factorization candidate).
+	HomologousProb float64
+	// WithAggregate appends a post-union aggregation.
+	WithAggregate bool
+	// WithJoin joins a dimension recordset after the union pipeline.
+	WithJoin bool
+	// SourceRowsHint is the cardinality hint range for cost models.
+	SourceRowsHint [2]float64
+	// DataRows is the number of actual records generated per source for
+	// empirical runs.
+	DataRows int
+	// Chained builds rigid branch pipelines (a dependency chain per
+	// measure: not-null on the raw attribute, conversion, threshold on the
+	// converted value) instead of freely shuffled cleaning activities.
+	// Rigid branches keep the state space small enough for ES to close —
+	// the character of the paper's small workflows, where ES terminates —
+	// while the selective post-union filters still leave the optimizer
+	// plenty to gain.
+	Chained bool
+}
+
+// CategoryConfig returns the generation parameters used for the paper's
+// size bands.
+func CategoryConfig(cat Category, seed int64) Config {
+	switch cat {
+	case Small:
+		return Config{
+			Seed: seed, Branches: 3, BranchActivities: 3, PostUnion: 4,
+			Values: 2, HomologousProb: 0.5, Chained: true,
+			SourceRowsHint: [2]float64{5_000, 50_000}, DataRows: 120,
+		}
+	case Medium:
+		return Config{
+			Seed: seed, Branches: 4, BranchActivities: 6, PostUnion: 5,
+			Values: 3, HomologousProb: 0.5, WithAggregate: true,
+			SourceRowsHint: [2]float64{10_000, 100_000}, DataRows: 120,
+		}
+	default:
+		return Config{
+			Seed: seed, Branches: 6, BranchActivities: 8, PostUnion: 8,
+			Values: 4, HomologousProb: 0.6, WithAggregate: true, WithJoin: true,
+			SourceRowsHint: [2]float64{20_000, 200_000}, DataRows: 120,
+		}
+	}
+}
+
+// Generate synthesizes one executable scenario from the configuration.
+func Generate(cfg Config) (*templates.Scenario, error) {
+	if cfg.Branches < 2 {
+		return nil, fmt.Errorf("generator: need at least 2 branches, got %d", cfg.Branches)
+	}
+	if cfg.Values < 1 {
+		cfg.Values = 1
+	}
+	if cfg.DataRows <= 0 {
+		cfg.DataRows = 100
+	}
+	if cfg.SourceRowsHint[0] <= 0 {
+		cfg.SourceRowsHint = [2]float64{10_000, 100_000}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := &builder{cfg: cfg, rng: rng, g: workflow.NewGraph()}
+	return b.build()
+}
+
+// builder holds generation state.
+type builder struct {
+	cfg Config
+	rng *rand.Rand
+	g   *workflow.Graph
+}

@@ -1,0 +1,38 @@
+package generator
+
+import (
+	"fmt"
+
+	"etlopt/internal/templates"
+)
+
+// Suite returns n scenarios of the given category, seeded deterministically
+// from baseSeed.
+func Suite(cat Category, n int, baseSeed int64) ([]*templates.Scenario, error) {
+	out := make([]*templates.Scenario, 0, n)
+	for i := 0; i < n; i++ {
+		cfg := CategoryConfig(cat, baseSeed+int64(i)*7919)
+		sc, err := Generate(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("generator: scenario %d of %s suite: %w", i, cat, err)
+		}
+		out = append(out, sc)
+	}
+	return out, nil
+}
+
+// PaperSuite reproduces the shape of the paper's test set: 40 workflows
+// split across the small, medium and large categories (§4.2). The exact
+// split was not published; 14/13/13 keeps the categories balanced.
+func PaperSuite(baseSeed int64) (map[Category][]*templates.Scenario, error) {
+	counts := map[Category]int{Small: 14, Medium: 13, Large: 13}
+	out := make(map[Category][]*templates.Scenario, len(counts))
+	for _, cat := range []Category{Small, Medium, Large} {
+		suite, err := Suite(cat, counts[cat], baseSeed+int64(cat)*104729)
+		if err != nil {
+			return nil, err
+		}
+		out[cat] = suite
+	}
+	return out, nil
+}

@@ -1,0 +1,231 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+
+	"etlopt/internal/data"
+	"etlopt/internal/templates"
+	"etlopt/internal/workflow"
+)
+
+// findings filters by check name.
+func findings(fs []Finding, check string) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if f.Check == check {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func mustCheck(t *testing.T, g *workflow.Graph) []Finding {
+	t.Helper()
+	fs, err := Check(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestCleanWorkflowFig1(t *testing.T) {
+	g := templates.Fig1Workflow()
+	fs := mustCheck(t, g)
+	for _, f := range fs {
+		if f.Severity == Warning {
+			t.Errorf("Fig. 1 should have no warnings, got: %s", f)
+		}
+	}
+}
+
+func TestDeadAttribute(t *testing.T) {
+	g := workflow.NewGraph()
+	src := g.AddRecordset(&workflow.RecordsetRef{
+		Name: "S", Schema: data.Schema{"K", "V", "BALLAST"}, Rows: 100, IsSource: true,
+	})
+	f := g.AddActivity(templates.Threshold("V", 1, 0.5))
+	// The projection drops BALLAST right before the target, so the target
+	// never stores it and nothing reads it.
+	p := g.AddActivity(templates.ProjectOut("BALLAST"))
+	tgt := g.AddRecordset(&workflow.RecordsetRef{Name: "T", Schema: data.Schema{"K", "V"}, IsTarget: true})
+	g.MustAddEdge(src, f)
+	g.MustAddEdge(f, p)
+	g.MustAddEdge(p, tgt)
+	if err := g.RegenerateSchemata(); err != nil {
+		t.Fatal(err)
+	}
+	// BALLAST appears in the projection's Fun, so it is "read" by the
+	// projection itself — dead-attribute is for attributes NOTHING touches.
+	// Build a variant whose target simply ignores the attribute.
+	g2 := workflow.NewGraph()
+	src2 := g2.AddRecordset(&workflow.RecordsetRef{
+		Name: "S", Schema: data.Schema{"K", "V", "BALLAST"}, Rows: 100, IsSource: true,
+	})
+	f2 := g2.AddActivity(templates.Threshold("V", 1, 0.5))
+	tgt2 := g2.AddRecordset(&workflow.RecordsetRef{Name: "T", Schema: data.Schema{"K", "V", "BALLAST"}, IsTarget: true})
+	g2.MustAddEdge(src2, f2)
+	g2.MustAddEdge(f2, tgt2)
+	if err := g2.RegenerateSchemata(); err != nil {
+		t.Fatal(err)
+	}
+	_ = tgt
+	fs := mustCheck(t, g2)
+	if len(findings(fs, "dead-attribute")) != 0 {
+		t.Error("BALLAST is stored by the target; not dead")
+	}
+
+	// Now a target that drops it via schema: truly dead.
+	g3 := workflow.NewGraph()
+	src3 := g3.AddRecordset(&workflow.RecordsetRef{
+		Name: "S", Schema: data.Schema{"K", "V", "BALLAST"}, Rows: 100, IsSource: true,
+	})
+	p3 := g3.AddActivity(templates.ProjectOut("BALLAST"))
+	tgt3 := g3.AddRecordset(&workflow.RecordsetRef{Name: "T", Schema: data.Schema{"K", "V"}, IsTarget: true})
+	g3.MustAddEdge(src3, p3)
+	g3.MustAddEdge(p3, tgt3)
+	if err := g3.RegenerateSchemata(); err != nil {
+		t.Fatal(err)
+	}
+	// The projection reads BALLAST (its Fun), so still not "dead" — the
+	// check targets attributes with no mention at all. Confirm none fire.
+	fs = mustCheck(t, g3)
+	if len(findings(fs, "dead-attribute")) != 0 {
+		t.Error("projected attributes are referenced, not dead")
+	}
+
+	// An attribute absent everywhere: dead.
+	g4 := workflow.NewGraph()
+	src4 := g4.AddRecordset(&workflow.RecordsetRef{
+		Name: "S", Schema: data.Schema{"K", "V", "GHOST"}, Rows: 100, IsSource: true,
+	})
+	f4 := g4.AddActivity(templates.Threshold("V", 1, 0.5))
+	tgt4 := g4.AddRecordset(&workflow.RecordsetRef{Name: "T", Schema: data.Schema{"K", "V", "GHOST"}, IsTarget: true})
+	g4.MustAddEdge(src4, f4)
+	g4.MustAddEdge(f4, tgt4)
+	if err := g4.RegenerateSchemata(); err != nil {
+		t.Fatal(err)
+	}
+	// GHOST is stored by the target here, so not dead either. The simplest
+	// true positive: target without GHOST and no reader — but then the
+	// workflow is ill-formed (union/target mismatch)... unless an
+	// aggregation drops it implicitly.
+	agg := templates.Aggregate([]string{"K"}, workflow.AggSum, "V", "TOT", 0.5)
+	g5 := workflow.NewGraph()
+	src5 := g5.AddRecordset(&workflow.RecordsetRef{
+		Name: "S", Schema: data.Schema{"K", "V", "GHOST"}, Rows: 100, IsSource: true,
+	})
+	a5 := g5.AddActivity(agg)
+	tgt5 := g5.AddRecordset(&workflow.RecordsetRef{Name: "T", Schema: data.Schema{"K", "TOT"}, IsTarget: true})
+	g5.MustAddEdge(src5, a5)
+	g5.MustAddEdge(a5, tgt5)
+	if err := g5.RegenerateSchemata(); err != nil {
+		t.Fatal(err)
+	}
+	fs = mustCheck(t, g5)
+	hits := findings(fs, "dead-attribute")
+	if len(hits) != 1 || !strings.Contains(hits[0].Message, "GHOST") {
+		t.Errorf("dead-attribute findings = %v, want exactly GHOST", hits)
+	}
+}
+
+func TestUnguardedSurrogateKey(t *testing.T) {
+	mk := func(withGuard bool) *workflow.Graph {
+		g := workflow.NewGraph()
+		src := g.AddRecordset(&workflow.RecordsetRef{
+			Name: "S", Schema: data.Schema{"K", "V"}, Rows: 100, IsSource: true,
+		})
+		cur := src
+		if withGuard {
+			nn := g.AddActivity(templates.NotNull(0.95, "K"))
+			g.MustAddEdge(cur, nn)
+			cur = nn
+		}
+		sk := g.AddActivity(templates.SurrogateKey("K", "SK", "L"))
+		tgt := g.AddRecordset(&workflow.RecordsetRef{Name: "T", Schema: data.Schema{"V", "SK"}, IsTarget: true})
+		g.MustAddEdge(cur, sk)
+		g.MustAddEdge(sk, tgt)
+		if err := g.RegenerateSchemata(); err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	fs := mustCheck(t, mk(false))
+	if len(findings(fs, "unguarded-surrogate-key")) != 1 {
+		t.Errorf("unguarded SK not reported: %v", fs)
+	}
+	fs = mustCheck(t, mk(true))
+	if len(findings(fs, "unguarded-surrogate-key")) != 0 {
+		t.Errorf("guarded SK wrongly reported: %v", fs)
+	}
+}
+
+func TestSelectivityRange(t *testing.T) {
+	g := workflow.NewGraph()
+	src := g.AddRecordset(&workflow.RecordsetRef{Name: "S", Schema: data.Schema{"V"}, Rows: 10, IsSource: true})
+	bad := templates.Threshold("V", 1, 0.5)
+	bad.Sel = 1.7
+	id := g.AddActivity(bad)
+	tgt := g.AddRecordset(&workflow.RecordsetRef{Name: "T", Schema: data.Schema{"V"}, IsTarget: true})
+	g.MustAddEdge(src, id)
+	g.MustAddEdge(id, tgt)
+	if err := g.RegenerateSchemata(); err != nil {
+		t.Fatal(err)
+	}
+	fs := mustCheck(t, g)
+	hits := findings(fs, "selectivity-range")
+	if len(hits) != 1 || hits[0].Severity != Warning {
+		t.Errorf("selectivity findings = %v", hits)
+	}
+}
+
+func TestRedundantActivity(t *testing.T) {
+	g := workflow.NewGraph()
+	src := g.AddRecordset(&workflow.RecordsetRef{Name: "S", Schema: data.Schema{"V"}, Rows: 10, IsSource: true})
+	f1 := g.AddActivity(templates.Threshold("V", 5, 0.5))
+	f2 := g.AddActivity(templates.Threshold("V", 5, 0.5)) // exact repeat
+	tgt := g.AddRecordset(&workflow.RecordsetRef{Name: "T", Schema: data.Schema{"V"}, IsTarget: true})
+	g.MustAddEdge(src, f1)
+	g.MustAddEdge(f1, f2)
+	g.MustAddEdge(f2, tgt)
+	if err := g.RegenerateSchemata(); err != nil {
+		t.Fatal(err)
+	}
+	fs := mustCheck(t, g)
+	if len(findings(fs, "redundant-activity")) != 1 {
+		t.Errorf("redundant repeat not reported: %v", fs)
+	}
+}
+
+func TestLateProjection(t *testing.T) {
+	g := workflow.NewGraph()
+	src := g.AddRecordset(&workflow.RecordsetRef{
+		Name: "S", Schema: data.Schema{"K", "V", "PAYLOAD"}, Rows: 10, IsSource: true,
+	})
+	cur := src
+	// A long chain that never touches PAYLOAD...
+	for i := 0; i < 4; i++ {
+		id := g.AddActivity(templates.Threshold("V", float64(i), 0.9))
+		g.MustAddEdge(cur, id)
+		cur = id
+	}
+	// ...then finally drops it.
+	p := g.AddActivity(templates.ProjectOut("PAYLOAD"))
+	g.MustAddEdge(cur, p)
+	tgt := g.AddRecordset(&workflow.RecordsetRef{Name: "T", Schema: data.Schema{"K", "V"}, IsTarget: true})
+	g.MustAddEdge(p, tgt)
+	if err := g.RegenerateSchemata(); err != nil {
+		t.Fatal(err)
+	}
+	fs := mustCheck(t, g)
+	if len(findings(fs, "late-projection")) != 1 {
+		t.Errorf("late projection not reported: %v", fs)
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{Severity: Warning, Node: 3, Check: "x", Message: "m"}
+	if !strings.Contains(f.String(), "warning") || !strings.Contains(f.String(), "node 3") {
+		t.Errorf("String = %q", f.String())
+	}
+}

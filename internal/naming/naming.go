@@ -1,0 +1,216 @@
+// Package naming implements the paper's naming principle (§3.1).
+//
+// ETL optimization is blocked when attribute names are unreliable:
+// homonyms (PARTS1.COST in Euros vs PARTS2.COST in Dollars) and synonyms
+// (DATE vs SHIPDATE meaning the same grouper) both defeat the subset checks
+// that gate activity swapping. The paper's remedy is a finite set of
+// *reference attribute names* Ωn at the conceptual level plus a mapping of
+// every physical attribute to exactly one reference name, under the
+// principle:
+//
+//	(a) all synonymous attributes map to the same reference name, and
+//	(b) no two different real-world entities share a reference name.
+//
+// Registry maintains Ωn and the physical→reference mapping, and validates
+// the principle. All other packages operate purely on reference names.
+package naming
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// QualifiedAttr identifies a physical attribute by recordset and column.
+type QualifiedAttr struct {
+	Recordset string
+	Attr      string
+}
+
+// String renders the attribute as recordset.attr.
+func (q QualifiedAttr) String() string { return q.Recordset + "." + q.Attr }
+
+// Registry holds the reference attribute name set Ωn and the mapping from
+// physical attributes to reference names. The zero value is empty and ready
+// to use. Registry is safe for concurrent use.
+type Registry struct {
+	mu       sync.RWMutex
+	refNames map[string]bool          // Ωn
+	mapping  map[QualifiedAttr]string // physical -> reference
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		refNames: make(map[string]bool),
+		mapping:  make(map[QualifiedAttr]string),
+	}
+}
+
+// Declare adds a reference attribute name to Ωn. Declaring an existing name
+// is a no-op, so Declare is idempotent.
+func (r *Registry) Declare(refName string) error {
+	if refName == "" {
+		return fmt.Errorf("naming: empty reference attribute name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.refNames == nil {
+		r.refNames = make(map[string]bool)
+		r.mapping = make(map[QualifiedAttr]string)
+	}
+	r.refNames[refName] = true
+	return nil
+}
+
+// Map binds a physical attribute to a reference name in Ωn. Rebinding an
+// attribute to a different reference name is an error (the mapping must be
+// a function), as is mapping to an undeclared reference name.
+func (r *Registry) Map(recordset, attr, refName string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.refNames == nil || !r.refNames[refName] {
+		return fmt.Errorf("naming: reference name %q not declared in Ωn", refName)
+	}
+	q := QualifiedAttr{Recordset: recordset, Attr: attr}
+	if existing, ok := r.mapping[q]; ok && existing != refName {
+		return fmt.Errorf("naming: %s already mapped to %q, cannot remap to %q", q, existing, refName)
+	}
+	r.mapping[q] = refName
+	return nil
+}
+
+// Resolve returns the reference name of a physical attribute. If the
+// attribute was never mapped, its own name is returned with ok=false so
+// callers can decide whether unmapped attributes are acceptable.
+func (r *Registry) Resolve(recordset, attr string) (string, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if ref, ok := r.mapping[QualifiedAttr{Recordset: recordset, Attr: attr}]; ok {
+		return ref, true
+	}
+	return attr, false
+}
+
+// ResolveSchema maps a physical schema of a recordset to reference names.
+// Unmapped attributes pass through unchanged.
+func (r *Registry) ResolveSchema(recordset string, attrs []string) []string {
+	out := make([]string, len(attrs))
+	for i, a := range attrs {
+		out[i], _ = r.Resolve(recordset, a)
+	}
+	return out
+}
+
+// RefNames returns the sorted contents of Ωn.
+func (r *Registry) RefNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.refNames))
+	for n := range r.refNames {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Homonyms returns groups of physical attributes that share a column name
+// but map to different reference names — the paper's PARTS1.COST (Euros) vs
+// PARTS2.COST (Dollars) situation. Each entry describes one column name with
+// its divergent mappings.
+func (r *Registry) Homonyms() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	byAttr := map[string]map[string][]string{} // attr -> refName -> recordsets
+	for q, ref := range r.mapping {
+		if byAttr[q.Attr] == nil {
+			byAttr[q.Attr] = map[string][]string{}
+		}
+		byAttr[q.Attr][ref] = append(byAttr[q.Attr][ref], q.Recordset)
+	}
+	var out []string
+	attrs := make([]string, 0, len(byAttr))
+	for a := range byAttr {
+		attrs = append(attrs, a)
+	}
+	sort.Strings(attrs)
+	for _, a := range attrs {
+		refs := byAttr[a]
+		if len(refs) < 2 {
+			continue
+		}
+		var parts []string
+		refNames := make([]string, 0, len(refs))
+		for ref := range refs {
+			refNames = append(refNames, ref)
+		}
+		sort.Strings(refNames)
+		for _, ref := range refNames {
+			rs := refs[ref]
+			sort.Strings(rs)
+			parts = append(parts, fmt.Sprintf("%s in {%s}", ref, strings.Join(rs, ",")))
+		}
+		out = append(out, fmt.Sprintf("column %q maps to %s", a, strings.Join(parts, "; ")))
+	}
+	return out
+}
+
+// Synonyms returns, for each reference name with more than one distinct
+// physical column name, a description of the synonym group.
+func (r *Registry) Synonyms() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	byRef := map[string]map[string]bool{} // refName -> attr names
+	for q, ref := range r.mapping {
+		if byRef[ref] == nil {
+			byRef[ref] = map[string]bool{}
+		}
+		byRef[ref][q.Attr] = true
+	}
+	var out []string
+	refs := make([]string, 0, len(byRef))
+	for ref := range byRef {
+		refs = append(refs, ref)
+	}
+	sort.Strings(refs)
+	for _, ref := range refs {
+		attrs := byRef[ref]
+		if len(attrs) < 2 {
+			continue
+		}
+		names := make([]string, 0, len(attrs))
+		for a := range attrs {
+			names = append(names, a)
+		}
+		sort.Strings(names)
+		out = append(out, fmt.Sprintf("reference %q has synonyms {%s}", ref, strings.Join(names, ",")))
+	}
+	return out
+}
+
+// Validate checks the naming principle holds for the registered mapping:
+// every mapped reference name must be declared (guaranteed by Map), and the
+// mapping must be total over the provided recordset schemas. It returns a
+// descriptive error listing unmapped attributes, or nil.
+func (r *Registry) Validate(schemas map[string][]string) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var missing []string
+	names := make([]string, 0, len(schemas))
+	for rs := range schemas {
+		names = append(names, rs)
+	}
+	sort.Strings(names)
+	for _, rs := range names {
+		for _, a := range schemas[rs] {
+			if _, ok := r.mapping[QualifiedAttr{Recordset: rs, Attr: a}]; !ok {
+				missing = append(missing, rs+"."+a)
+			}
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("naming: attributes not mapped to Ωn: %s", strings.Join(missing, ", "))
+	}
+	return nil
+}

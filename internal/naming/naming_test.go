@@ -1,0 +1,173 @@
+package naming
+
+import (
+	"strings"
+	"testing"
+)
+
+// newPaperRegistry builds the registry for the paper's Fig. 1 setting:
+// PARTS1.COST is a monthly Euro cost, PARTS2.COST a daily Dollar cost
+// (homonyms), and the two DATE columns are synonyms of one grouper entity.
+func newPaperRegistry(t *testing.T) *Registry {
+	t.Helper()
+	r := NewRegistry()
+	for _, ref := range []string{"PKEY", "SOURCE", "DATE", "ECOST", "DCOST", "DEPT"} {
+		if err := r.Declare(ref); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mappings := [][3]string{
+		{"PARTS1", "PKEY", "PKEY"},
+		{"PARTS1", "SOURCE", "SOURCE"},
+		{"PARTS1", "DATE", "DATE"},
+		{"PARTS1", "COST", "ECOST"},
+		{"PARTS2", "PKEY", "PKEY"},
+		{"PARTS2", "SOURCE", "SOURCE"},
+		{"PARTS2", "SHIPDATE", "DATE"},
+		{"PARTS2", "COST", "DCOST"},
+		{"PARTS2", "DEPT", "DEPT"},
+	}
+	for _, m := range mappings {
+		if err := r.Map(m[0], m[1], m[2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func TestDeclareAndMap(t *testing.T) {
+	r := newPaperRegistry(t)
+	got, ok := r.Resolve("PARTS1", "COST")
+	if !ok || got != "ECOST" {
+		t.Errorf("Resolve(PARTS1.COST) = %q, %v", got, ok)
+	}
+	got, ok = r.Resolve("PARTS2", "COST")
+	if !ok || got != "DCOST" {
+		t.Errorf("Resolve(PARTS2.COST) = %q, %v", got, ok)
+	}
+}
+
+func TestDeclareEmpty(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Declare(""); err == nil {
+		t.Error("empty reference name should be rejected")
+	}
+}
+
+func TestDeclareIdempotent(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Declare("X"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Declare("X"); err != nil {
+		t.Errorf("re-declaring should be a no-op, got %v", err)
+	}
+}
+
+func TestMapUndeclared(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Map("T", "A", "NOPE"); err == nil {
+		t.Error("mapping to an undeclared reference name should fail")
+	}
+}
+
+func TestMapRebindRejected(t *testing.T) {
+	r := NewRegistry()
+	r.Declare("X")
+	r.Declare("Y")
+	if err := r.Map("T", "A", "X"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Map("T", "A", "Y"); err == nil {
+		t.Error("remapping an attribute to a different reference name should fail")
+	}
+	// Same binding again is fine (idempotent).
+	if err := r.Map("T", "A", "X"); err != nil {
+		t.Errorf("idempotent rebinding failed: %v", err)
+	}
+}
+
+func TestResolveUnmapped(t *testing.T) {
+	r := NewRegistry()
+	got, ok := r.Resolve("T", "A")
+	if ok || got != "A" {
+		t.Errorf("unmapped Resolve = %q, %v; want pass-through with ok=false", got, ok)
+	}
+}
+
+func TestResolveSchema(t *testing.T) {
+	r := newPaperRegistry(t)
+	got := r.ResolveSchema("PARTS2", []string{"PKEY", "SHIPDATE", "COST", "UNKNOWN"})
+	want := []string{"PKEY", "DATE", "DCOST", "UNKNOWN"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ResolveSchema[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHomonyms(t *testing.T) {
+	r := newPaperRegistry(t)
+	homs := r.Homonyms()
+	if len(homs) != 1 {
+		t.Fatalf("Homonyms = %v, want exactly the COST homonym", homs)
+	}
+	if !strings.Contains(homs[0], `"COST"`) ||
+		!strings.Contains(homs[0], "DCOST") || !strings.Contains(homs[0], "ECOST") {
+		t.Errorf("unexpected homonym description: %s", homs[0])
+	}
+}
+
+func TestSynonyms(t *testing.T) {
+	r := newPaperRegistry(t)
+	syns := r.Synonyms()
+	if len(syns) != 1 {
+		t.Fatalf("Synonyms = %v, want exactly the DATE synonym group", syns)
+	}
+	if !strings.Contains(syns[0], `"DATE"`) || !strings.Contains(syns[0], "SHIPDATE") {
+		t.Errorf("unexpected synonym description: %s", syns[0])
+	}
+}
+
+func TestValidateTotal(t *testing.T) {
+	r := newPaperRegistry(t)
+	schemas := map[string][]string{
+		"PARTS1": {"PKEY", "SOURCE", "DATE", "COST"},
+		"PARTS2": {"PKEY", "SOURCE", "SHIPDATE", "COST", "DEPT"},
+	}
+	if err := r.Validate(schemas); err != nil {
+		t.Errorf("complete mapping should validate: %v", err)
+	}
+	schemas["PARTS2"] = append(schemas["PARTS2"], "NEWCOL")
+	err := r.Validate(schemas)
+	if err == nil {
+		t.Fatal("missing mapping should fail validation")
+	}
+	if !strings.Contains(err.Error(), "PARTS2.NEWCOL") {
+		t.Errorf("error should name the unmapped attribute: %v", err)
+	}
+}
+
+func TestRefNamesSorted(t *testing.T) {
+	r := NewRegistry()
+	for _, n := range []string{"Z", "A", "M"} {
+		r.Declare(n)
+	}
+	got := r.RefNames()
+	want := []string{"A", "M", "Z"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("RefNames = %v", got)
+		}
+	}
+}
+
+func TestZeroValueRegistry(t *testing.T) {
+	var r Registry
+	if err := r.Declare("X"); err != nil {
+		t.Fatalf("zero-value registry Declare: %v", err)
+	}
+	if err := r.Map("T", "A", "X"); err != nil {
+		t.Fatalf("zero-value registry Map: %v", err)
+	}
+}

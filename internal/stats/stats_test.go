@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{4, 2, 8, 6})
+	if s.N != 4 || s.Mean != 5 || s.Min != 2 || s.Max != 8 || s.Median != 5 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	odd := Summarize([]float64{3, 1, 2})
+	if odd.Median != 2 {
+		t.Errorf("odd median = %v", odd.Median)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty Summarize = %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Mean != 7 || s.StdDev != 0 || s.Median != 7 {
+		t.Errorf("single Summarize = %+v", s)
+	}
+}
+
+func TestSummarizeStdDev(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	// Sample standard deviation of this classic set is ≈2.138.
+	if math.Abs(s.StdDev-2.13809) > 1e-4 {
+		t.Errorf("StdDev = %v", s.StdDev)
+	}
+}
+
+func TestSummarizeInvariant(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			// Skip pathological magnitudes where x−mean itself overflows;
+			// measurements here are seconds, counts and percentages.
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e150 {
+				return true
+			}
+		}
+		s := Summarize(xs)
+		if len(xs) == 0 {
+			return s.N == 0
+		}
+		return s.Min <= s.Median && s.Median <= s.Max &&
+			s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Summarize sorted the caller's slice")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("alpha", 1.0)
+	tb.AddRow("a-much-longer-name", 2.5)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	// All rows share the same width.
+	w := len(lines[0])
+	for i, l := range lines {
+		if len(l) < w-1 { // trailing spaces may be trimmed on short cells
+			t.Errorf("line %d narrower than header: %q", i, l)
+		}
+	}
+	if !strings.Contains(out, "a-much-longer-name") || !strings.Contains(out, "2.5") {
+		t.Errorf("table content missing:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Error("missing separator line")
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tb := NewTable("v")
+	tb.AddRow(3.0)
+	tb.AddRow(3.14159)
+	out := tb.String()
+	if !strings.Contains(out, "3 ") && !strings.HasSuffix(out, "3\n") {
+		if !strings.Contains(out, "\n3") {
+			t.Errorf("integral float should render without decimals:\n%s", out)
+		}
+	}
+	if !strings.Contains(out, "3.1") {
+		t.Errorf("fractional float should render with one decimal:\n%s", out)
+	}
+}

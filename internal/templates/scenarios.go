@@ -1,0 +1,234 @@
+package templates
+
+import (
+	"fmt"
+
+	"etlopt/internal/algebra"
+	"etlopt/internal/data"
+	"etlopt/internal/workflow"
+)
+
+// Scenario bundles a workflow with the source data needed to execute it:
+// the graph, in-memory bindings for every source recordset, and bindings
+// for surrogate-key lookup tables.
+type Scenario struct {
+	// Graph is the initial workflow state S0.
+	Graph *workflow.Graph
+	// Sources binds source recordset names to data.
+	Sources map[string]data.Rows
+	// Lookups binds surrogate-key lookup names to key→surrogate pairs.
+	Lookups map[string]data.Rows
+	// Schemas records the schema of each bound recordset.
+	Schemas map[string]data.Schema
+}
+
+// Bind materializes the scenario's bindings as in-memory recordsets keyed
+// by name, ready for the execution engine.
+func (s *Scenario) Bind() map[string]data.Recordset {
+	out := make(map[string]data.Recordset)
+	for name, rows := range s.Sources {
+		rs := data.NewMemoryRecordset(name, s.Schemas[name])
+		rs.MustLoad(rows)
+		out[name] = rs
+	}
+	for name, rows := range s.Lookups {
+		rs := data.NewMemoryRecordset(name, s.Schemas[name])
+		rs.MustLoad(rows)
+		out[name] = rs
+	}
+	return out
+}
+
+// Fig1Workflow builds the paper's motivating workflow (Fig. 1): monthly
+// Euro-denominated part costs from source S1 and daily Dollar-denominated
+// costs from source S2 are cleaned, converted, aggregated, unified and
+// loaded into the warehouse table PARTS.
+//
+// Node numbering follows the paper: 1=PARTS1, 2=PARTS2, 3=NN(ECOST),
+// 4=$2€, 5=A2E, 6=γ, 7=U, 8=σ(ECOST≥θ), 9=DW.PARTS; the initial state's
+// signature is ((1.3)//(2.4.5.6)).7.8.9.
+//
+// Reference attribute names follow the naming principle (§3.1): monthly
+// Euro cost is ECOST in both branches (PARTS1.COST maps to it directly;
+// in branch two the aggregation generates it), daily Dollar cost is DCOST,
+// daily Euro cost is ECOST_D, and DATE keeps one reference name across the
+// American-to-European reformat because dates act as groupers either way.
+func Fig1Workflow() *workflow.Graph {
+	g := workflow.NewGraph()
+
+	parts1 := g.AddRecordset(&workflow.RecordsetRef{
+		Name:     "PARTS1",
+		Schema:   data.Schema{"PKEY", "SOURCE", "DATE", "ECOST"},
+		Rows:     1000,
+		IsSource: true,
+	})
+	parts2 := g.AddRecordset(&workflow.RecordsetRef{
+		Name:     "PARTS2",
+		Schema:   data.Schema{"PKEY", "SOURCE", "DATE", "DEPT", "DCOST"},
+		Rows:     3000,
+		IsSource: true,
+	})
+
+	nn := g.AddActivity(NotNull(0.95, "ECOST"))
+	d2e := g.AddActivity(Convert("dollar2euro", "ECOST_D", "DCOST"))
+	a2e := g.AddActivity(Reformat("a2edate", "DATE"))
+	agg := g.AddActivity(Aggregate([]string{"PKEY", "SOURCE", "DATE"}, workflow.AggSum, "ECOST_D", "ECOST", 0.4))
+	// DEPT is not a grouper, so the aggregation discards it, exactly as the
+	// paper describes for activity 6.
+	u := g.AddActivity(Union())
+	sigma := g.AddActivity(Threshold("ECOST", 100, 0.5))
+
+	dw := g.AddRecordset(&workflow.RecordsetRef{
+		Name:     "DW.PARTS",
+		Schema:   data.Schema{"PKEY", "SOURCE", "DATE", "ECOST"},
+		IsTarget: true,
+	})
+
+	g.MustAddEdge(parts1, nn)
+	g.MustAddEdge(parts2, d2e)
+	g.MustAddEdge(d2e, a2e)
+	g.MustAddEdge(a2e, agg)
+	g.MustAddEdge(nn, u)
+	g.MustAddEdge(agg, u)
+	g.MustAddEdge(u, sigma)
+	g.MustAddEdge(sigma, dw)
+
+	if err := g.RegenerateSchemata(); err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Fig1Scenario builds the Fig. 1 workflow together with executable source
+// data: nRows1 monthly records for PARTS1 (some with NULL costs, some below
+// the 100 € threshold) and nRows2 daily records for PARTS2 in Dollars with
+// American-format dates, several per part and month so the aggregation has
+// work to do.
+func Fig1Scenario(nRows1, nRows2 int) *Scenario {
+	g := Fig1Workflow()
+
+	months := []string{"01/01/2004", "01/02/2004", "01/03/2004"} // DD/MM/YYYY
+	amMonths := []string{"01/01/2004", "02/01/2004", "03/01/2004"}
+
+	rows1 := make(data.Rows, 0, nRows1)
+	for i := 0; i < nRows1; i++ {
+		cost := data.NewFloat(float64(40 + (i*13)%160)) // spans the 100 € threshold
+		if i%11 == 7 {
+			cost = data.Null // exercises NN(ECOST)
+		}
+		rows1 = append(rows1, data.Record{
+			data.NewInt(int64(100 + i%17)),
+			data.NewInt(1),
+			data.NewString(months[i%len(months)]),
+			cost,
+		})
+	}
+
+	rows2 := make(data.Rows, 0, nRows2)
+	for i := 0; i < nRows2; i++ {
+		rows2 = append(rows2, data.Record{
+			data.NewInt(int64(100 + i%17)),
+			data.NewInt(2),
+			data.NewString(amMonths[i%len(amMonths)]), // MM/DD/YYYY
+			data.NewString(fmt.Sprintf("D%d", i%4)),
+			data.NewFloat(float64(20 + (i*7)%120)), // Dollars
+		})
+	}
+
+	return &Scenario{
+		Graph: g,
+		Sources: map[string]data.Rows{
+			"PARTS1": rows1,
+			"PARTS2": rows2,
+		},
+		Lookups: map[string]data.Rows{},
+		Schemas: map[string]data.Schema{
+			"PARTS1": {"PKEY", "SOURCE", "DATE", "ECOST"},
+			"PARTS2": {"PKEY", "SOURCE", "DATE", "DEPT", "DCOST"},
+		},
+	}
+}
+
+// Fig4Case identifies one of the three costings of Fig. 4.
+type Fig4Case int
+
+// The Fig. 4 cases.
+const (
+	// Fig4Original has a surrogate-key activity in each branch and the
+	// selection in one branch (cost c1 = 2·n·log₂n + n).
+	Fig4Original Fig4Case = iota
+	// Fig4Distributed pushes the selection before the SK in both branches
+	// (cost c2 = 2·(n + (n/2)·log₂(n/2))).
+	Fig4Distributed
+	// Fig4Factorized keeps the selection in both branches and factorizes
+	// the SKs into one after the union (paper cost
+	// c3 = 2·n + (n/2)·log₂(n/2)).
+	Fig4Factorized
+)
+
+// Fig4Workflow builds the workflow of the named case with n input rows per
+// branch. The selection has selectivity 0.5 and all other activities 1.0,
+// matching the figure's assumptions. The source key PK is replaced by the
+// surrogate SK resolved through lookup table LOOKUP.
+func Fig4Workflow(c Fig4Case, n float64) *workflow.Graph {
+	g := workflow.NewGraph()
+	schema := data.Schema{"PK", "V"}
+	r1 := g.AddRecordset(&workflow.RecordsetRef{Name: "R1", Schema: schema, Rows: n, IsSource: true})
+	r2 := g.AddRecordset(&workflow.RecordsetRef{Name: "R2", Schema: schema, Rows: n, IsSource: true})
+	target := data.Schema{"SK", "V"}
+
+	sigma := func() *workflow.Activity {
+		return Filter(algebra.Cmp{
+			Op:    algebra.GE,
+			Left:  algebra.Attr{Name: "V"},
+			Right: algebra.Const{Value: data.NewInt(50)},
+		}, 0.5)
+	}
+	sk := func() *workflow.Activity { return SurrogateKey("PK", "SK", "LOOKUP") }
+
+	u := g.AddActivity(Union())
+	dw := g.AddRecordset(&workflow.RecordsetRef{Name: "DW", Schema: target, IsTarget: true})
+
+	switch c {
+	case Fig4Original:
+		sk1 := g.AddActivity(sk())
+		sk2 := g.AddActivity(sk())
+		s := g.AddActivity(sigma())
+		g.MustAddEdge(r1, sk1)
+		g.MustAddEdge(sk1, s)
+		g.MustAddEdge(s, u)
+		g.MustAddEdge(r2, sk2)
+		g.MustAddEdge(sk2, u)
+	case Fig4Distributed:
+		s1 := g.AddActivity(sigma())
+		s2 := g.AddActivity(sigma())
+		sk1 := g.AddActivity(sk())
+		sk2 := g.AddActivity(sk())
+		g.MustAddEdge(r1, s1)
+		g.MustAddEdge(s1, sk1)
+		g.MustAddEdge(sk1, u)
+		g.MustAddEdge(r2, s2)
+		g.MustAddEdge(s2, sk2)
+		g.MustAddEdge(sk2, u)
+	case Fig4Factorized:
+		s1 := g.AddActivity(sigma())
+		s2 := g.AddActivity(sigma())
+		skU := g.AddActivity(sk())
+		g.MustAddEdge(r1, s1)
+		g.MustAddEdge(s1, u)
+		g.MustAddEdge(r2, s2)
+		g.MustAddEdge(s2, u)
+		// The union feeds the single factorized SK.
+		g.MustAddEdge(u, skU)
+		g.MustAddEdge(skU, dw)
+		if err := g.RegenerateSchemata(); err != nil {
+			panic(err)
+		}
+		return g
+	}
+	g.MustAddEdge(u, dw)
+	if err := g.RegenerateSchemata(); err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,178 @@
+package templates
+
+import (
+	"testing"
+
+	"etlopt/internal/algebra"
+	"etlopt/internal/data"
+	"etlopt/internal/engine"
+	"etlopt/internal/workflow"
+)
+
+func TestFilterTemplateSchemata(t *testing.T) {
+	pred := algebra.Logic{Op: algebra.And,
+		Left:  algebra.Cmp{Op: algebra.GE, Left: algebra.Attr{Name: "A"}, Right: algebra.Const{Value: data.NewInt(1)}},
+		Right: algebra.Cmp{Op: algebra.LT, Left: algebra.Attr{Name: "B"}, Right: algebra.Const{Value: data.NewInt(9)}},
+	}
+	a := Filter(pred, 0.4)
+	if !a.Fun.SameSet(data.Schema{"A", "B"}) {
+		t.Errorf("filter Fun = %v", a.Fun)
+	}
+	if len(a.Gen) != 0 || len(a.PrjOut) != 0 {
+		t.Error("filters generate and project out nothing (§3.2)")
+	}
+	if a.Sel != 0.4 {
+		t.Errorf("Sel = %v", a.Sel)
+	}
+}
+
+func TestConvertTemplateSchemata(t *testing.T) {
+	a := Convert("dollar2euro", "ECOST", "DCOST")
+	if !a.Fun.Equal(data.Schema{"DCOST"}) ||
+		!a.Gen.Equal(data.Schema{"ECOST"}) ||
+		!a.PrjOut.Equal(data.Schema{"DCOST"}) {
+		t.Errorf("convert schemata: fun=%v gen=%v prj=%v", a.Fun, a.Gen, a.PrjOut)
+	}
+	if a.InPlace() {
+		t.Error("converting function must not be in-place")
+	}
+}
+
+func TestReformatTemplateSchemata(t *testing.T) {
+	a := Reformat("a2edate", "DATE")
+	if !a.InPlace() {
+		t.Error("reformat must be in-place")
+	}
+	if len(a.Gen) != 0 || len(a.PrjOut) != 0 {
+		t.Error("in-place reformat generates and projects out nothing")
+	}
+	if !a.Fun.Equal(data.Schema{"DATE"}) {
+		t.Errorf("Fun = %v", a.Fun)
+	}
+}
+
+func TestAggregateTemplateSchemata(t *testing.T) {
+	a := Aggregate([]string{"K", "D"}, workflow.AggSum, "V", "TOTV", 0.3)
+	if !a.Fun.SameSet(data.Schema{"K", "D", "V"}) {
+		t.Errorf("aggregate Fun = %v", a.Fun)
+	}
+	if !a.Gen.Equal(data.Schema{"TOTV"}) {
+		t.Errorf("aggregate Gen = %v", a.Gen)
+	}
+	// Count aggregations need no value attribute.
+	c := Aggregate([]string{"K"}, workflow.AggCount, "", "N", 0.3)
+	if !c.Fun.Equal(data.Schema{"K"}) {
+		t.Errorf("count Fun = %v", c.Fun)
+	}
+}
+
+func TestSurrogateKeyTemplateSchemata(t *testing.T) {
+	a := SurrogateKey("K", "SK", "LKP")
+	if !a.Fun.Equal(data.Schema{"K"}) || !a.Gen.Equal(data.Schema{"SK"}) || !a.PrjOut.Equal(data.Schema{"K"}) {
+		t.Errorf("sk schemata: fun=%v gen=%v prj=%v", a.Fun, a.Gen, a.PrjOut)
+	}
+	if a.Sem.Lookup != "LKP" {
+		t.Errorf("Lookup = %q", a.Sem.Lookup)
+	}
+}
+
+func TestPKCheckVariants(t *testing.T) {
+	grp := PKCheck(0.8, "K")
+	if grp.Sem.Lookup != "" {
+		t.Error("PKCheck should be group-based")
+	}
+	lkp := PKCheckAgainst("DWK", 0.8, "K")
+	if lkp.Sem.Lookup != "DWK" {
+		t.Error("PKCheckAgainst should carry its lookup")
+	}
+	if grp.SameOperation(lkp) {
+		t.Error("group-based and lookup-based checks must differ semantically")
+	}
+}
+
+func TestFig1WorkflowShape(t *testing.T) {
+	g := Fig1Workflow()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CheckWellFormed(); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Signature(); got != "((1.3)//(2.4.5.6)).7.8.9" {
+		t.Errorf("Fig. 1 signature = %q", got)
+	}
+	groups := g.LocalGroups()
+	if len(groups) != 3 || len(groups[0]) != 1 || len(groups[1]) != 3 || len(groups[2]) != 1 {
+		t.Errorf("Fig. 1 local groups = %v, want {3},{4,5,6},{8}", groups)
+	}
+}
+
+func TestFig1ScenarioExecutes(t *testing.T) {
+	sc := Fig1Scenario(110, 330)
+	res, err := engine.New(sc.Bind()).Run(sc.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Targets["DW.PARTS"]
+	if len(rows) == 0 {
+		t.Fatal("no rows loaded into the warehouse")
+	}
+	// Every loaded cost is in Euros and above the threshold; every date is
+	// European format DD/MM/YYYY (the A2E output on branch 2, native on
+	// branch 1).
+	schema := data.Schema{"PKEY", "SOURCE", "DATE", "ECOST"}
+	costPos := schema.Index("ECOST")
+	datePos := schema.Index("DATE")
+	for _, r := range rows {
+		if r[costPos].Float() < 100 {
+			t.Errorf("below-threshold cost loaded: %v", r)
+		}
+		d := r[datePos].Str()
+		if len(d) != 10 || d[2] != '/' || d[5] != '/' {
+			t.Errorf("malformed date %q", d)
+		}
+	}
+	// Both sources contribute.
+	srcs := map[int64]bool{}
+	srcPos := schema.Index("SOURCE")
+	for _, r := range rows {
+		srcs[r[srcPos].Int()] = true
+	}
+	if !srcs[1] || !srcs[2] {
+		t.Errorf("expected both sources in the warehouse, got %v", srcs)
+	}
+}
+
+func TestFig4WorkflowsValid(t *testing.T) {
+	for _, c := range []Fig4Case{Fig4Original, Fig4Distributed, Fig4Factorized} {
+		g := Fig4Workflow(c, 8)
+		if err := g.Validate(); err != nil {
+			t.Errorf("case %v: %v", c, err)
+		}
+		if err := g.CheckWellFormed(); err != nil {
+			t.Errorf("case %v: %v", c, err)
+		}
+	}
+}
+
+func TestScenarioBind(t *testing.T) {
+	sc := Fig1Scenario(10, 20)
+	b := sc.Bind()
+	if len(b) != 2 {
+		t.Fatalf("bindings = %v", b)
+	}
+	rows, err := b["PARTS1"].Scan()
+	if err != nil || len(rows) != 10 {
+		t.Errorf("PARTS1 binding: %d rows, %v", len(rows), err)
+	}
+}
+
+func TestThresholdTemplate(t *testing.T) {
+	a := Threshold("ECOST", 100, 0.5)
+	if a.Sem.Op != workflow.OpFilter {
+		t.Fatal("threshold should be a filter")
+	}
+	if got := a.Sem.Pred.String(); got != "(ECOST>=100)" {
+		t.Errorf("predicate = %q", got)
+	}
+}

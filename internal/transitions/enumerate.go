@@ -1,0 +1,44 @@
+package transitions
+
+import (
+	"etlopt/internal/workflow"
+)
+
+// Enumerate returns every transition applicable to the state, each already
+// applied to a fresh clone: all legal swaps of adjacent unary pairs within
+// local groups, all factorizations of homologous pairs adjacent to their
+// binary activity, and all distributions of activities fed directly by a
+// binary. This is the successor function of the exhaustive search's state
+// space (§2.2); merges are excluded because MER/SPL never change a state's
+// cost, only the search's granularity.
+func Enumerate(g *workflow.Graph) []*Result {
+	var out []*Result
+	for _, grp := range g.LocalGroups() {
+		for i := 0; i+1 < len(grp); i++ {
+			if res, err := Swap(g, grp[i], grp[i+1]); err == nil {
+				out = append(out, res)
+			}
+		}
+	}
+	for _, hp := range g.FindHomologousPairs() {
+		if adjacentToBinary(g, hp.A, hp.Binary) && adjacentToBinary(g, hp.B, hp.Binary) {
+			if res, err := Factorize(g, hp.Binary, hp.A, hp.B); err == nil {
+				out = append(out, res)
+			}
+		}
+	}
+	for _, da := range g.FindDistributableActivities() {
+		if preds := g.Providers(da.Activity); len(preds) == 1 && preds[0] == da.Binary {
+			if res, err := Distribute(g, da.Binary, da.Activity); err == nil {
+				out = append(out, res)
+			}
+		}
+	}
+	return out
+}
+
+// adjacentToBinary reports whether a's single consumer is the binary ab.
+func adjacentToBinary(g *workflow.Graph, a, ab workflow.NodeID) bool {
+	succs := g.Consumers(a)
+	return len(succs) == 1 && succs[0] == ab
+}

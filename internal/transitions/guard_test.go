@@ -1,0 +1,161 @@
+package transitions
+
+import (
+	"math/rand"
+	"testing"
+
+	"etlopt/internal/algebra"
+	"etlopt/internal/data"
+	"etlopt/internal/equiv"
+	"etlopt/internal/templates"
+	"etlopt/internal/workflow"
+)
+
+func TestSwapSKAcrossInPlaceOnKeyRejected(t *testing.T) {
+	// The surrogate-key lookup stores raw key values; an in-place
+	// transformation of the key attribute changes what gets probed, so the
+	// pair must not swap — even though both orders type-check.
+	up := templates.Reformat("upper", "K")
+	sk := templates.SurrogateKey("K", "SK", "L")
+	g, ids := chain(t, data.Schema{"K", "V"}, up, sk)
+	if _, err := Swap(g, ids[0], ids[1]); err == nil || !IsRejection(err) {
+		t.Fatalf("SK must not cross an in-place transform of its key, got %v", err)
+	}
+	// An in-place transform of an unrelated attribute swaps freely.
+	up2 := templates.Reformat("upper", "V2")
+	sk2 := templates.SurrogateKey("K", "SK", "L")
+	g2, ids2 := chain(t, data.Schema{"K", "V2"}, up2, sk2)
+	if _, err := Swap(g2, ids2[0], ids2[1]); err != nil {
+		t.Errorf("unrelated in-place transform should swap with SK: %v", err)
+	}
+}
+
+func TestSwapMergedPackageRespectsComponentGuards(t *testing.T) {
+	// A package containing a value-sensitive filter must not cross an
+	// in-place transform of the filtered attribute.
+	datePred := algebra.Cmp{
+		Op:    algebra.EQ,
+		Left:  algebra.Attr{Name: "DATE"},
+		Right: algebra.Const{Value: data.NewString("01/02/2004")},
+	}
+	pkgComponents := []*workflow.Activity{
+		templates.NotNull(0.9, "K"),
+		templates.Filter(datePred, 0.1),
+	}
+	merged := &workflow.Activity{
+		Name: "NN+σ",
+		Sem:  workflow.Semantics{Op: workflow.OpMerged, Components: pkgComponents},
+		Fun:  data.Schema{"K", "DATE"},
+		Sel:  0.09,
+	}
+	a2e := templates.Reformat("a2edate", "DATE")
+	g, ids := chain(t, data.Schema{"K", "DATE"}, a2e, merged)
+	if _, err := Swap(g, ids[0], ids[1]); err == nil || !IsRejection(err) {
+		t.Fatalf("package with a format-sensitive component must not cross A2E, got %v", err)
+	}
+
+	// A package of NULL-insensitive components crosses freely.
+	safe := &workflow.Activity{
+		Name: "NN+NN",
+		Sem: workflow.Semantics{Op: workflow.OpMerged, Components: []*workflow.Activity{
+			templates.NotNull(0.9, "K"),
+			templates.NotNull(0.95, "DATE"),
+		}},
+		Fun: data.Schema{"K", "DATE"},
+		Sel: 0.85,
+	}
+	g2, ids2 := chain(t, data.Schema{"K", "DATE"}, templates.Reformat("a2edate", "DATE"), safe)
+	if _, err := Swap(g2, ids2[0], ids2[1]); err != nil {
+		t.Errorf("null-check package should cross A2E: %v", err)
+	}
+}
+
+func TestSwapTwoInPlaceSameAttrRejected(t *testing.T) {
+	a := templates.Reformat("a2edate", "DATE")
+	b := templates.Reformat("e2adate", "DATE")
+	g, ids := chain(t, data.Schema{"DATE"}, a, b)
+	if _, err := Swap(g, ids[0], ids[1]); err == nil || !IsRejection(err) {
+		t.Fatalf("two in-place reformats of the same attribute must not swap, got %v", err)
+	}
+	// Different attributes: fine.
+	c := templates.Reformat("a2edate", "D1")
+	d := templates.Reformat("e2adate", "D2")
+	g2, ids2 := chain(t, data.Schema{"D1", "D2"}, c, d)
+	if _, err := Swap(g2, ids2[0], ids2[1]); err != nil {
+		t.Errorf("independent in-place reformats should swap: %v", err)
+	}
+}
+
+func TestSwapAggregateAcrossLookupPKOnGrouper(t *testing.T) {
+	// A lookup-based key check on a grouper commutes with the aggregation;
+	// on a non-grouper it must not (condition enforced by the guard, since
+	// condition 3 alone would pass when the attribute survives as part of
+	// the groupers).
+	agg := templates.Aggregate([]string{"K", "D"}, workflow.AggSum, "V", "T", 0.3)
+	pkOnGrouper := templates.PKCheckAgainst("L", 0.9, "K")
+	g, ids := chain(t, data.Schema{"K", "D", "V"}, agg, pkOnGrouper)
+	if _, err := Swap(g, ids[0], ids[1]); err != nil {
+		t.Errorf("lookup key check on grouper should cross γ: %v", err)
+	}
+}
+
+// TestFilterChainPermutations: a chain of filters over distinct attributes
+// commutes freely; every permutation reachable by swaps is legal, and all
+// are empirically equivalent.
+func TestFilterChainPermutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	schema := data.Schema{"A", "B", "C", "D"}
+	acts := []*workflow.Activity{
+		templates.Threshold("A", 10, 0.9),
+		templates.Threshold("B", 20, 0.7),
+		templates.NotNull(0.95, "C"),
+		templates.Threshold("D", 30, 0.5),
+	}
+	g, ids := chain(t, schema, acts...)
+
+	rows := make(data.Rows, 120)
+	for i := range rows {
+		mk := func(m int) data.Value {
+			if (i+m)%13 == 0 {
+				return data.Null
+			}
+			return data.NewFloat(float64((i*m)%60 - 5))
+		}
+		rows[i] = data.Record{mk(1), mk(2), mk(3), mk(5)}
+	}
+	bindings := map[string]data.Recordset{
+		"SRC": data.NewMemoryRecordset("SRC", schema).MustLoad(rows),
+	}
+
+	cur := g
+	for step := 0; step < 12; step++ {
+		// Pick a random adjacent pair among the chain's activities.
+		i := rng.Intn(len(ids) - 1)
+		var pair [2]workflow.NodeID
+		found := false
+		for _, a := range ids {
+			for _, c := range cur.Consumers(a) {
+				n := cur.Node(c)
+				if n != nil && n.Kind == workflow.KindActivity && rng.Intn(len(ids)) == i {
+					pair = [2]workflow.NodeID{a, c}
+					found = true
+				}
+			}
+		}
+		if !found {
+			continue
+		}
+		res, err := Swap(cur, pair[0], pair[1])
+		if err != nil {
+			t.Fatalf("step %d: filter swap rejected: %v", step, err)
+		}
+		ok, diff, err := equiv.VerifyEmpirical(g, res.Graph, bindings)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("step %d: permutation changed output: %s", step, diff)
+		}
+		cur = res.Graph
+	}
+}

@@ -1,0 +1,61 @@
+package workflow
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the workflow in Graphviz dot syntax: recordsets as boxes
+// (sources and targets shaded), activities as ellipses labelled with their
+// semantics, edges following the data-provider relation. Useful for
+// inspecting before/after optimization states:
+//
+//	etlopt -in wf.etl -dot | dot -Tsvg > wf.svg
+func (g *Graph) DOT(title string) string {
+	var b strings.Builder
+	b.WriteString("digraph etl {\n")
+	b.WriteString("  rankdir=LR;\n")
+	if title != "" {
+		fmt.Fprintf(&b, "  label=%q; labelloc=t;\n", title)
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		order = g.Nodes()
+	}
+	for _, id := range order {
+		n := g.nodes[id]
+		switch n.Kind {
+		case KindRecordset:
+			fill := "white"
+			switch {
+			case len(g.pred[id]) == 0:
+				fill = "lightblue"
+			case len(g.succ[id]) == 0:
+				fill = "lightyellow"
+			}
+			fmt.Fprintf(&b, "  n%d [shape=box, style=filled, fillcolor=%s, label=\"%s\\n{%s}\"];\n",
+				id, fill, escapeDOT(n.RS.Name), escapeDOT(n.RS.Schema.String()))
+		case KindActivity:
+			shape := "ellipse"
+			if n.Act.IsBinary() {
+				shape = "diamond"
+			}
+			fmt.Fprintf(&b, "  n%d [shape=%s, label=\"%s\\n%s\"];\n",
+				id, shape, escapeDOT(n.Act.Tag), escapeDOT(n.Act.Sem.String()))
+		}
+	}
+	for _, id := range order {
+		for _, c := range g.succ[id] {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", id, c)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// escapeDOT escapes characters that would break a dot string literal.
+func escapeDOT(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return s
+}

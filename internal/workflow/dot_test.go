@@ -1,0 +1,48 @@
+package workflow
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDOTRendering(t *testing.T) {
+	g, n := fig1Shape(t)
+	dot := g.DOT("fig1")
+	for _, want := range []string{
+		"digraph etl {",
+		"rankdir=LR",
+		`label="fig1"`,
+		"shape=box",             // recordsets
+		"fillcolor=lightblue",   // sources
+		"fillcolor=lightyellow", // target
+		"shape=diamond",         // the union
+		"union()",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// Every edge appears.
+	edges := 0
+	for _, id := range g.Nodes() {
+		edges += len(g.Consumers(id))
+	}
+	if got := strings.Count(dot, " -> "); got != edges {
+		t.Errorf("DOT has %d edges, graph has %d", got, edges)
+	}
+	_ = n
+}
+
+func TestDOTEscaping(t *testing.T) {
+	g := NewGraph()
+	src := g.AddRecordset(&RecordsetRef{Name: `S"quoted"`, Schema: []string{"A"}, IsSource: true})
+	tgt := g.AddRecordset(&RecordsetRef{Name: "T", Schema: []string{"A"}, IsTarget: true})
+	g.MustAddEdge(src, tgt)
+	dot := g.DOT("")
+	if strings.Contains(dot, `"S"quoted""`) {
+		t.Error("unescaped quotes in DOT output")
+	}
+	if !strings.Contains(dot, `\"quoted\"`) {
+		t.Errorf("quotes not escaped:\n%s", dot)
+	}
+}

@@ -1,0 +1,466 @@
+package workflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"etlopt/internal/data"
+)
+
+// NodeID identifies a node within a Graph. IDs equal the execution priority
+// assigned by the topological ordering of the workflow in its *initial*
+// form (§4.1) for initial nodes; nodes created later by transitions receive
+// fresh IDs from the graph's counter.
+type NodeID int
+
+// NodeKind discriminates activities from recordsets.
+type NodeKind uint8
+
+// Node kinds.
+const (
+	KindActivity NodeKind = iota
+	KindRecordset
+)
+
+// RecordsetRef statically describes a recordset node: its name, schema and
+// an expected cardinality used by cost models for sources. The actual data
+// binding happens in the engine.
+type RecordsetRef struct {
+	// Name is the recordset's unique name.
+	Name string
+	// Schema is the flat record schema in reference attribute names.
+	Schema data.Schema
+	// Rows is the expected cardinality; meaningful for sources.
+	Rows float64
+	// IsSource marks members of RS_S, IsTarget members of RS_T (§2.1).
+	IsSource bool
+	IsTarget bool
+}
+
+// Clone returns a deep copy.
+func (r *RecordsetRef) Clone() *RecordsetRef {
+	c := *r
+	c.Schema = r.Schema.Clone()
+	return &c
+}
+
+// Node is a vertex of the workflow graph: either an activity or a
+// recordset, together with its derived input/output schemata.
+type Node struct {
+	ID   NodeID
+	Kind NodeKind
+	// Act is set for activity nodes.
+	Act *Activity
+	// RS is set for recordset nodes.
+	RS *RecordsetRef
+	// In holds the derived input schemata (one per provider, in provider
+	// order); populated by RegenerateSchemata. Recordsets use In for the
+	// loading flow when they have a provider.
+	In []data.Schema
+	// Out is the derived output schema; for recordsets it equals the
+	// recordset schema.
+	Out data.Schema
+}
+
+// Label returns a short human-readable description of the node.
+func (n *Node) Label() string {
+	if n.Kind == KindRecordset {
+		return n.RS.Name
+	}
+	if n.Act.Name != "" {
+		return n.Act.Name
+	}
+	return n.Act.Sem.String()
+}
+
+// Clone returns a deep copy of the node.
+func (n *Node) Clone() *Node {
+	c := &Node{ID: n.ID, Kind: n.Kind}
+	if n.Act != nil {
+		c.Act = n.Act.Clone()
+	}
+	if n.RS != nil {
+		c.RS = n.RS.Clone()
+	}
+	c.In = make([]data.Schema, len(n.In))
+	for i, s := range n.In {
+		c.In[i] = s.Clone()
+	}
+	c.Out = n.Out.Clone()
+	return c
+}
+
+// shallowClone copies the node struct, structurally sharing the activity,
+// recordset descriptor and schema slices with the original. This is safe
+// under the package's immutability discipline: activities and recordset
+// descriptors are never mutated after being added to a graph (transitions
+// clone an activity before changing its tag), and derived schemas are
+// replaced wholesale by schema regeneration, never edited in place.
+func (n *Node) shallowClone() *Node {
+	c := *n
+	return &c
+}
+
+// Graph is an ETL workflow: a DAG G(V,E) with V = A ∪ RS and E = Pr (§2.1).
+// Provider lists are ordered; a binary activity's first provider feeds its
+// first input schema. Graph is not safe for concurrent mutation; the
+// optimizer clones per state.
+type Graph struct {
+	nodes  map[NodeID]*Node
+	order  []NodeID            // deterministic iteration order (insertion)
+	succ   map[NodeID][]NodeID // consumers, in attachment order
+	pred   map[NodeID][]NodeID // providers, in attachment order
+	nextID NodeID
+
+	// topoCache memoizes TopoSort between mutations; every structural
+	// change invalidates it. Derived states are costed, signed and
+	// checked several times each, so the memo is a large win during
+	// search.
+	topoCache []NodeID
+}
+
+// NewGraph returns an empty workflow graph.
+func NewGraph() *Graph {
+	return &Graph{
+		nodes: make(map[NodeID]*Node),
+		succ:  make(map[NodeID][]NodeID),
+		pred:  make(map[NodeID][]NodeID),
+	}
+}
+
+// allocID returns the next fresh node ID.
+func (g *Graph) allocID() NodeID {
+	g.nextID++
+	return g.nextID
+}
+
+// AddRecordset adds a recordset node and returns its ID.
+func (g *Graph) AddRecordset(rs *RecordsetRef) NodeID {
+	id := g.allocID()
+	n := &Node{ID: id, Kind: KindRecordset, RS: rs.Clone(), Out: rs.Schema.Clone()}
+	g.nodes[id] = n
+	g.order = append(g.order, id)
+	g.topoCache = nil
+	return id
+}
+
+// AddActivity adds an activity node and returns its ID. The activity's Tag
+// defaults to the decimal rendering of the ID when empty.
+func (g *Graph) AddActivity(a *Activity) NodeID {
+	id := g.allocID()
+	act := a.Clone()
+	if act.Tag == "" {
+		act.Tag = fmt.Sprintf("%d", id)
+	}
+	n := &Node{ID: id, Kind: KindActivity, Act: act}
+	g.nodes[id] = n
+	g.order = append(g.order, id)
+	g.topoCache = nil
+	return id
+}
+
+// AddEdge records that to consumes data from from.
+func (g *Graph) AddEdge(from, to NodeID) error {
+	if _, ok := g.nodes[from]; !ok {
+		return fmt.Errorf("workflow: edge from unknown node %d", from)
+	}
+	if _, ok := g.nodes[to]; !ok {
+		return fmt.Errorf("workflow: edge to unknown node %d", to)
+	}
+	for _, s := range g.succ[from] {
+		if s == to {
+			return fmt.Errorf("workflow: duplicate edge %d->%d", from, to)
+		}
+	}
+	g.succ[from] = append(g.succ[from], to)
+	g.pred[to] = append(g.pred[to], from)
+	g.topoCache = nil
+	return nil
+}
+
+// MustAddEdge is AddEdge panicking on error; for construction code.
+func (g *Graph) MustAddEdge(from, to NodeID) {
+	if err := g.AddEdge(from, to); err != nil {
+		panic(err)
+	}
+}
+
+// RemoveEdge deletes the edge from→to if present.
+func (g *Graph) RemoveEdge(from, to NodeID) {
+	g.succ[from] = removeID(g.succ[from], to)
+	g.pred[to] = removeID(g.pred[to], from)
+	g.topoCache = nil
+}
+
+// RemoveNode deletes a node and all its edges.
+func (g *Graph) RemoveNode(id NodeID) {
+	for _, s := range append([]NodeID(nil), g.succ[id]...) {
+		g.RemoveEdge(id, s)
+	}
+	for _, p := range append([]NodeID(nil), g.pred[id]...) {
+		g.RemoveEdge(p, id)
+	}
+	delete(g.nodes, id)
+	delete(g.succ, id)
+	delete(g.pred, id)
+	g.order = removeID(g.order, id)
+	g.topoCache = nil
+}
+
+// ReplaceProvider substitutes newP for oldP in node's provider list,
+// preserving the provider's position — essential for binary activities,
+// whose first provider feeds their first input schema. The succ lists of
+// oldP and newP are updated accordingly.
+func (g *Graph) ReplaceProvider(node, oldP, newP NodeID) error {
+	preds := g.pred[node]
+	found := false
+	for i, p := range preds {
+		if p == oldP {
+			preds[i] = newP
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("workflow: node %d has no provider %d to replace", node, oldP)
+	}
+	g.succ[oldP] = removeID(g.succ[oldP], node)
+	g.succ[newP] = append(g.succ[newP], node)
+	g.topoCache = nil
+	return nil
+}
+
+// MustReplaceProvider is ReplaceProvider panicking on error.
+func (g *Graph) MustReplaceProvider(node, oldP, newP NodeID) {
+	if err := g.ReplaceProvider(node, oldP, newP); err != nil {
+		panic(err)
+	}
+}
+
+func removeID(ids []NodeID, id NodeID) []NodeID {
+	out := ids[:0]
+	for _, x := range ids {
+		if x != id {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Node returns the node with the given ID, or nil.
+func (g *Graph) Node(id NodeID) *Node { return g.nodes[id] }
+
+// Providers returns the ordered provider IDs of a node.
+func (g *Graph) Providers(id NodeID) []NodeID { return g.pred[id] }
+
+// Consumers returns the ordered consumer IDs of a node.
+func (g *Graph) Consumers(id NodeID) []NodeID { return g.succ[id] }
+
+// Nodes returns all node IDs in insertion order.
+func (g *Graph) Nodes() []NodeID { return append([]NodeID(nil), g.order...) }
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// Activities returns the IDs of all activity nodes in insertion order.
+func (g *Graph) Activities() []NodeID {
+	var out []NodeID
+	for _, id := range g.order {
+		if g.nodes[id].Kind == KindActivity {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Recordsets returns the IDs of all recordset nodes in insertion order.
+func (g *Graph) Recordsets() []NodeID {
+	var out []NodeID
+	for _, id := range g.order {
+		if g.nodes[id].Kind == KindRecordset {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Sources returns the IDs of source recordsets (RS_S).
+func (g *Graph) Sources() []NodeID {
+	var out []NodeID
+	for _, id := range g.order {
+		n := g.nodes[id]
+		if n.Kind == KindRecordset && len(g.pred[id]) == 0 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Targets returns the IDs of target recordsets (RS_T).
+func (g *Graph) Targets() []NodeID {
+	var out []NodeID
+	for _, id := range g.order {
+		n := g.nodes[id]
+		if n.Kind == KindRecordset && len(g.succ[id]) == 0 && len(g.pred[id]) > 0 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the graph sharing no mutable state.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		nodes:  make(map[NodeID]*Node, len(g.nodes)),
+		order:  append([]NodeID(nil), g.order...),
+		succ:   make(map[NodeID][]NodeID, len(g.succ)),
+		pred:   make(map[NodeID][]NodeID, len(g.pred)),
+		nextID: g.nextID,
+	}
+	for id, n := range g.nodes {
+		c.nodes[id] = n.shallowClone()
+	}
+	for id, s := range g.succ {
+		if len(s) > 0 {
+			c.succ[id] = append([]NodeID(nil), s...)
+		}
+	}
+	for id, p := range g.pred {
+		if len(p) > 0 {
+			c.pred[id] = append([]NodeID(nil), p...)
+		}
+	}
+	if g.topoCache != nil {
+		c.topoCache = append([]NodeID(nil), g.topoCache...)
+	}
+	return c
+}
+
+// TopoSort returns the node IDs in a deterministic topological order
+// (Kahn's algorithm breaking ties by smallest ID). It returns an error if
+// the graph contains a cycle.
+func (g *Graph) TopoSort() ([]NodeID, error) {
+	if g.topoCache != nil {
+		return g.topoCache, nil
+	}
+	indeg := make(map[NodeID]int, len(g.nodes))
+	for id := range g.nodes {
+		indeg[id] = len(g.pred[id])
+	}
+	var ready []NodeID
+	for id, d := range indeg {
+		if d == 0 {
+			ready = append(ready, id)
+		}
+	}
+	sortIDs(ready)
+	var out []NodeID
+	for len(ready) > 0 {
+		id := ready[0]
+		ready = ready[1:]
+		out = append(out, id)
+		var unlocked []NodeID
+		for _, s := range g.succ[id] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				unlocked = append(unlocked, s)
+			}
+		}
+		sortIDs(unlocked)
+		ready = mergeSorted(ready, unlocked)
+	}
+	if len(out) != len(g.nodes) {
+		return nil, fmt.Errorf("workflow: graph contains a cycle (%d of %d nodes ordered)", len(out), len(g.nodes))
+	}
+	g.topoCache = out
+	return out, nil
+}
+
+func sortIDs(ids []NodeID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+func mergeSorted(a, b []NodeID) []NodeID {
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]NodeID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// Validate checks the structural well-formedness rules of §2.1: the graph
+// is a DAG; every activity has at least one provider and exactly the arity
+// of inputs its operation requires, and at least one consumer; every input
+// schema has exactly one provider; recordsets have at most one provider;
+// source recordsets have consumers.
+func (g *Graph) Validate() error {
+	if _, err := g.TopoSort(); err != nil {
+		return err
+	}
+	for _, id := range g.order {
+		n := g.nodes[id]
+		switch n.Kind {
+		case KindActivity:
+			want := 1
+			if n.Act.IsBinary() {
+				want = 2
+			}
+			if got := len(g.pred[id]); got != want {
+				return fmt.Errorf("workflow: activity %d (%s) has %d providers, wants %d",
+					id, n.Label(), got, want)
+			}
+			if len(g.succ[id]) == 0 {
+				return fmt.Errorf("workflow: activity %d (%s) has no consumer", id, n.Label())
+			}
+		case KindRecordset:
+			if len(g.pred[id]) > 1 {
+				return fmt.Errorf("workflow: recordset %s has %d providers, at most 1 allowed",
+					n.RS.Name, len(g.pred[id]))
+			}
+			if len(g.pred[id]) == 0 && len(g.succ[id]) == 0 {
+				return fmt.Errorf("workflow: recordset %s is disconnected", n.RS.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the graph as an adjacency list for diagnostics.
+func (g *Graph) String() string {
+	order, err := g.TopoSort()
+	if err != nil {
+		order = g.Nodes()
+	}
+	var b strings.Builder
+	for _, id := range order {
+		n := g.nodes[id]
+		fmt.Fprintf(&b, "%3d %-30s", id, n.Label())
+		if len(g.succ[id]) > 0 {
+			b.WriteString(" -> ")
+			for i, s := range g.succ[id] {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				fmt.Fprintf(&b, "%d", s)
+			}
+		}
+		if n.Kind == KindActivity {
+			fmt.Fprintf(&b, "   [out: %s]", n.Out)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

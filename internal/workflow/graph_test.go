@@ -1,0 +1,249 @@
+package workflow
+
+import (
+	"strings"
+	"testing"
+
+	"etlopt/internal/data"
+)
+
+// linearGraph builds SRC → activities... → TGT and returns the graph plus
+// the node IDs in order.
+func linearGraph(t *testing.T, schema data.Schema, acts ...*Activity) (*Graph, []NodeID) {
+	t.Helper()
+	g := NewGraph()
+	ids := []NodeID{g.AddRecordset(&RecordsetRef{Name: "SRC", Schema: schema, Rows: 100, IsSource: true})}
+	for _, a := range acts {
+		ids = append(ids, g.AddActivity(a))
+	}
+	// Target schema mirrors the source for pass-through chains; tests that
+	// change the schema construct graphs by hand instead.
+	ids = append(ids, g.AddRecordset(&RecordsetRef{Name: "TGT", Schema: schema, IsTarget: true}))
+	for i := 0; i+1 < len(ids); i++ {
+		g.MustAddEdge(ids[i], ids[i+1])
+	}
+	if err := g.RegenerateSchemata(); err != nil {
+		t.Fatal(err)
+	}
+	return g, ids
+}
+
+func filterOn(attr string) *Activity {
+	return &Activity{
+		Name: "σ(" + attr + ")",
+		Sem:  Semantics{Op: OpNotNull, Attrs: []string{attr}},
+		Fun:  data.Schema{attr},
+		Sel:  0.5,
+	}
+}
+
+func TestAddAndQueryNodes(t *testing.T) {
+	g, ids := linearGraph(t, data.Schema{"A"}, filterOn("A"), filterOn("A"))
+	if g.Len() != 4 {
+		t.Errorf("Len = %d", g.Len())
+	}
+	if len(g.Activities()) != 2 {
+		t.Errorf("Activities = %v", g.Activities())
+	}
+	if len(g.Recordsets()) != 2 {
+		t.Errorf("Recordsets = %v", g.Recordsets())
+	}
+	if got := g.Sources(); len(got) != 1 || got[0] != ids[0] {
+		t.Errorf("Sources = %v", got)
+	}
+	if got := g.Targets(); len(got) != 1 || got[0] != ids[3] {
+		t.Errorf("Targets = %v", got)
+	}
+	if g.Node(ids[1]).Label() != "σ(A)" {
+		t.Errorf("Label = %q", g.Node(ids[1]).Label())
+	}
+	if g.Node(999) != nil {
+		t.Error("unknown node should be nil")
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := NewGraph()
+	a := g.AddRecordset(&RecordsetRef{Name: "A", Schema: data.Schema{"X"}})
+	if err := g.AddEdge(a, 999); err == nil {
+		t.Error("edge to unknown node should fail")
+	}
+	if err := g.AddEdge(999, a); err == nil {
+		t.Error("edge from unknown node should fail")
+	}
+	b := g.AddRecordset(&RecordsetRef{Name: "B", Schema: data.Schema{"X"}})
+	if err := g.AddEdge(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(a, b); err == nil {
+		t.Error("duplicate edge should fail")
+	}
+}
+
+func TestTopoSortDeterministic(t *testing.T) {
+	g, _ := linearGraph(t, data.Schema{"A"}, filterOn("A"), filterOn("A"), filterOn("A"))
+	o1, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, _ := g.TopoSort()
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatal("TopoSort not deterministic")
+		}
+	}
+	// Providers come before consumers.
+	pos := map[NodeID]int{}
+	for i, id := range o1 {
+		pos[id] = i
+	}
+	for _, id := range g.Nodes() {
+		for _, c := range g.Consumers(id) {
+			if pos[id] >= pos[c] {
+				t.Errorf("node %d not before consumer %d", id, c)
+			}
+		}
+	}
+}
+
+func TestTopoSortCycle(t *testing.T) {
+	g := NewGraph()
+	a := g.AddActivity(filterOn("A"))
+	b := g.AddActivity(filterOn("A"))
+	g.MustAddEdge(a, b)
+	g.MustAddEdge(b, a)
+	if _, err := g.TopoSort(); err == nil {
+		t.Error("cycle should be detected")
+	}
+}
+
+func TestTopoCacheInvalidation(t *testing.T) {
+	g, ids := linearGraph(t, data.Schema{"A"}, filterOn("A"), filterOn("A"))
+	if _, err := g.TopoSort(); err != nil {
+		t.Fatal(err)
+	}
+	// Mutate: swap the two activities via ReplaceProvider; the cached order
+	// must be discarded.
+	a1, a2 := ids[1], ids[2]
+	consumer := g.Consumers(a2)[0]
+	p := g.Providers(a1)[0]
+	g.MustReplaceProvider(consumer, a2, a1)
+	g.MustReplaceProvider(a1, p, a2)
+	g.MustReplaceProvider(a2, a1, p)
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[NodeID]int{}
+	for i, id := range order {
+		pos[id] = i
+	}
+	if pos[a2] >= pos[a1] {
+		t.Error("stale topological order after mutation")
+	}
+}
+
+func TestValidateArity(t *testing.T) {
+	g := NewGraph()
+	src := g.AddRecordset(&RecordsetRef{Name: "S", Schema: data.Schema{"A"}, IsSource: true})
+	u := g.AddActivity(&Activity{Sem: Semantics{Op: OpUnion}, Sel: 1})
+	tgt := g.AddRecordset(&RecordsetRef{Name: "T", Schema: data.Schema{"A"}, IsTarget: true})
+	g.MustAddEdge(src, u)
+	g.MustAddEdge(u, tgt)
+	if err := g.Validate(); err == nil {
+		t.Error("union with one provider should fail validation")
+	}
+}
+
+func TestValidateConsumerRequired(t *testing.T) {
+	g := NewGraph()
+	src := g.AddRecordset(&RecordsetRef{Name: "S", Schema: data.Schema{"A"}, IsSource: true})
+	a := g.AddActivity(filterOn("A"))
+	g.MustAddEdge(src, a)
+	if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "no consumer") {
+		t.Errorf("dangling activity should fail validation, got %v", err)
+	}
+}
+
+func TestValidateRecordsetSingleProvider(t *testing.T) {
+	g := NewGraph()
+	s1 := g.AddRecordset(&RecordsetRef{Name: "S1", Schema: data.Schema{"A"}, IsSource: true})
+	s2 := g.AddRecordset(&RecordsetRef{Name: "S2", Schema: data.Schema{"A"}, IsSource: true})
+	tgt := g.AddRecordset(&RecordsetRef{Name: "T", Schema: data.Schema{"A"}})
+	g.MustAddEdge(s1, tgt)
+	g.MustAddEdge(s2, tgt)
+	if err := g.Validate(); err == nil {
+		t.Error("recordset with two providers should fail validation")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g, ids := linearGraph(t, data.Schema{"A", "B"}, filterOn("A"), filterOn("B"))
+	c := g.Clone()
+	// Structural mutation of the clone must not leak back.
+	c.RemoveNode(ids[1])
+	if g.Node(ids[1]) == nil {
+		t.Fatal("RemoveNode on clone affected original")
+	}
+	if len(g.Consumers(ids[0])) != 1 {
+		t.Fatal("clone edge removal affected original's edges")
+	}
+	// Activity mutation path: clones returned by Node(...).Act.Clone() are
+	// independent; direct tag edits on a clone's activity must not leak
+	// either, because transitions always clone-before-mutate.
+	act := c.Node(ids[2]).Act.Clone()
+	act.Tag = "mutated"
+	if g.Node(ids[2]).Act.Tag == "mutated" {
+		t.Fatal("activity clone shares tag storage")
+	}
+}
+
+func TestCloneEqualSignature(t *testing.T) {
+	g, _ := linearGraph(t, data.Schema{"A"}, filterOn("A"), filterOn("A"))
+	if g.Clone().Signature() != g.Signature() {
+		t.Error("clone signature differs")
+	}
+}
+
+func TestReplaceProviderPreservesPosition(t *testing.T) {
+	g := NewGraph()
+	s1 := g.AddRecordset(&RecordsetRef{Name: "S1", Schema: data.Schema{"K", "A"}, Rows: 10, IsSource: true})
+	s2 := g.AddRecordset(&RecordsetRef{Name: "S2", Schema: data.Schema{"K", "B"}, Rows: 10, IsSource: true})
+	j := g.AddActivity(&Activity{
+		Sem: Semantics{Op: OpJoin, Attrs: []string{"K"}},
+		Fun: data.Schema{"K"}, Sel: 0.1,
+	})
+	g.MustAddEdge(s1, j)
+	g.MustAddEdge(s2, j)
+	s3 := g.AddRecordset(&RecordsetRef{Name: "S3", Schema: data.Schema{"K", "A"}, Rows: 10, IsSource: true})
+	g.MustReplaceProvider(j, s1, s3)
+	preds := g.Providers(j)
+	if preds[0] != s3 || preds[1] != s2 {
+		t.Errorf("provider order after replacement = %v, want [%d %d]", preds, s3, s2)
+	}
+	if err := g.ReplaceProvider(j, s1, s3); err == nil {
+		t.Error("replacing a non-provider should fail")
+	}
+}
+
+func TestRemoveNodeCleansEdges(t *testing.T) {
+	g, ids := linearGraph(t, data.Schema{"A"}, filterOn("A"))
+	g.RemoveNode(ids[1])
+	if len(g.Consumers(ids[0])) != 0 {
+		t.Error("stale consumer edge after RemoveNode")
+	}
+	if len(g.Providers(ids[2])) != 0 {
+		t.Error("stale provider edge after RemoveNode")
+	}
+	if g.Len() != 2 {
+		t.Errorf("Len = %d", g.Len())
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	g, _ := linearGraph(t, data.Schema{"A"}, filterOn("A"))
+	s := g.String()
+	if !strings.Contains(s, "SRC") || !strings.Contains(s, "σ(A)") || !strings.Contains(s, "TGT") {
+		t.Errorf("String rendering missing nodes:\n%s", s)
+	}
+}

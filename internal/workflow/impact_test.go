@@ -1,0 +1,108 @@
+package workflow
+
+import (
+	"testing"
+
+	"etlopt/internal/data"
+)
+
+func TestAnalyzeImpactFig1Shape(t *testing.T) {
+	g, n := fig1Shape(t)
+	// A failure at a4 (head of branch 2) affects everything downstream of
+	// it and depends only on S2.
+	imp, err := g.AnalyzeImpact(n["a4"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDown := []NodeID{n["a5"], n["a6"], n["u7"], n["a8"], n["dw"]}
+	if len(imp.Downstream) != len(wantDown) {
+		t.Fatalf("Downstream = %v, want %v", imp.Downstream, wantDown)
+	}
+	for i := range wantDown {
+		if imp.Downstream[i] != wantDown[i] {
+			t.Fatalf("Downstream = %v, want %v", imp.Downstream, wantDown)
+		}
+	}
+	if len(imp.Targets) != 1 || imp.Targets[0] != "DW" {
+		t.Errorf("Targets = %v", imp.Targets)
+	}
+	if len(imp.Sources) != 1 || imp.Sources[0] != "S2" {
+		t.Errorf("Sources = %v", imp.Sources)
+	}
+	if len(imp.Upstream) != 1 || imp.Upstream[0] != n["s2"] {
+		t.Errorf("Upstream = %v", imp.Upstream)
+	}
+}
+
+func TestAnalyzeImpactAtUnion(t *testing.T) {
+	g, n := fig1Shape(t)
+	imp, err := g.AnalyzeImpact(n["u7"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The union depends on both sources.
+	if len(imp.Sources) != 2 {
+		t.Errorf("Sources = %v, want both", imp.Sources)
+	}
+	if len(imp.Downstream) != 2 { // a8, dw
+		t.Errorf("Downstream = %v", imp.Downstream)
+	}
+}
+
+func TestAnalyzeImpactUnknownNode(t *testing.T) {
+	g, _ := fig1Shape(t)
+	if _, err := g.AnalyzeImpact(999); err == nil {
+		t.Error("unknown node should error")
+	}
+}
+
+func TestUnaffectedBy(t *testing.T) {
+	g, n := fig1Shape(t)
+	un, err := g.UnaffectedBy(n["a4"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only branch 1's a3 survives a failure in branch 2's head.
+	if len(un) != 1 || un[0] != n["a3"] {
+		t.Errorf("UnaffectedBy(a4) = %v, want [a3]", un)
+	}
+	// A source failure affects everything it feeds.
+	un, err = g.UnaffectedBy(n["s1"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range un {
+		if id == n["a3"] {
+			t.Error("a3 depends on S1 and must be affected")
+		}
+	}
+}
+
+func TestImpactOnDiamond(t *testing.T) {
+	// Shared provider: impact flows through both branches.
+	g := NewGraph()
+	schema := data.Schema{"A"}
+	src := g.AddRecordset(&RecordsetRef{Name: "S", Schema: schema, Rows: 10, IsSource: true})
+	f1 := g.AddActivity(&Activity{Sem: Semantics{Op: OpNotNull, Attrs: []string{"A"}}, Fun: data.Schema{"A"}, Sel: 0.9})
+	f2 := g.AddActivity(&Activity{Sem: Semantics{Op: OpNotNull, Attrs: []string{"A"}}, Fun: data.Schema{"A"}, Sel: 0.9})
+	u := g.AddActivity(&Activity{Sem: Semantics{Op: OpUnion}, Sel: 1})
+	tgt := g.AddRecordset(&RecordsetRef{Name: "T", Schema: schema, IsTarget: true})
+	g.MustAddEdge(src, f1)
+	g.MustAddEdge(src, f2)
+	g.MustAddEdge(f1, u)
+	g.MustAddEdge(f2, u)
+	g.MustAddEdge(u, tgt)
+	if err := g.RegenerateSchemata(); err != nil {
+		t.Fatal(err)
+	}
+	imp, err := g.AnalyzeImpact(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imp.Downstream) != 4 {
+		t.Errorf("Downstream = %v, want all 4 nodes", imp.Downstream)
+	}
+	if len(imp.Upstream) != 0 {
+		t.Errorf("a source has no upstream, got %v", imp.Upstream)
+	}
+}

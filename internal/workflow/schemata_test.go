@@ -1,0 +1,268 @@
+package workflow
+
+import (
+	"strings"
+	"testing"
+
+	"etlopt/internal/data"
+)
+
+// buildChain wires SRC(schema) → acts → TGT(targetSchema) and regenerates.
+func buildChain(t *testing.T, schema, target data.Schema, acts ...*Activity) (*Graph, []NodeID) {
+	t.Helper()
+	g := NewGraph()
+	ids := []NodeID{g.AddRecordset(&RecordsetRef{Name: "SRC", Schema: schema, Rows: 100, IsSource: true})}
+	for _, a := range acts {
+		ids = append(ids, g.AddActivity(a))
+	}
+	ids = append(ids, g.AddRecordset(&RecordsetRef{Name: "TGT", Schema: target, IsTarget: true}))
+	for i := 0; i+1 < len(ids); i++ {
+		g.MustAddEdge(ids[i], ids[i+1])
+	}
+	if err := g.RegenerateSchemata(); err != nil {
+		t.Fatal(err)
+	}
+	return g, ids
+}
+
+func TestDeriveFilterPassThrough(t *testing.T) {
+	schema := data.Schema{"A", "B"}
+	g, ids := buildChain(t, schema, schema,
+		&Activity{Sem: Semantics{Op: OpNotNull, Attrs: []string{"A"}}, Fun: data.Schema{"A"}, Sel: 0.9})
+	out := g.Node(ids[1]).Out
+	if !out.Equal(schema) {
+		t.Errorf("filter out = %v", out)
+	}
+}
+
+func TestDeriveProject(t *testing.T) {
+	g, ids := buildChain(t, data.Schema{"A", "B", "C"}, data.Schema{"A", "C"},
+		&Activity{Sem: Semantics{Op: OpProject, Attrs: []string{"B"}}, Fun: data.Schema{"B"}, PrjOut: data.Schema{"B"}, Sel: 1})
+	out := g.Node(ids[1]).Out
+	if !out.Equal(data.Schema{"A", "C"}) {
+		t.Errorf("project out = %v", out)
+	}
+}
+
+func TestDeriveConvertingFunc(t *testing.T) {
+	// $2€-style: generates ECOST, drops DCOST.
+	act := &Activity{
+		Sem: Semantics{Op: OpFunc, Fn: "dollar2euro", FnArgs: []string{"DCOST"}, OutAttr: "ECOST", DropArgs: true},
+		Fun: data.Schema{"DCOST"}, Gen: data.Schema{"ECOST"}, PrjOut: data.Schema{"DCOST"}, Sel: 1,
+	}
+	g, ids := buildChain(t, data.Schema{"K", "DCOST"}, data.Schema{"K", "ECOST"}, act)
+	out := g.Node(ids[1]).Out
+	if out.Has("DCOST") || !out.Has("ECOST") || !out.Has("K") {
+		t.Errorf("convert out = %v", out)
+	}
+}
+
+func TestDeriveInPlaceFunc(t *testing.T) {
+	act := &Activity{
+		Sem: Semantics{Op: OpFunc, Fn: "a2edate", FnArgs: []string{"DATE"}, OutAttr: "DATE"},
+		Fun: data.Schema{"DATE"}, Sel: 1,
+	}
+	if !act.InPlace() {
+		t.Fatal("a2edate on DATE should be in-place")
+	}
+	g, ids := buildChain(t, data.Schema{"K", "DATE"}, data.Schema{"K", "DATE"}, act)
+	if !g.Node(ids[1]).Out.Equal(data.Schema{"K", "DATE"}) {
+		t.Errorf("in-place out = %v", g.Node(ids[1]).Out)
+	}
+}
+
+func TestDeriveKeepArgsFunc(t *testing.T) {
+	act := &Activity{
+		Sem: Semantics{Op: OpFunc, Fn: "upper", FnArgs: []string{"CODE"}, OutAttr: "UCODE"},
+		Fun: data.Schema{"CODE"}, Gen: data.Schema{"UCODE"}, Sel: 1,
+	}
+	g, ids := buildChain(t, data.Schema{"CODE"}, data.Schema{"CODE", "UCODE"}, act)
+	if !g.Node(ids[1]).Out.Equal(data.Schema{"CODE", "UCODE"}) {
+		t.Errorf("keep-args out = %v", g.Node(ids[1]).Out)
+	}
+}
+
+func TestDeriveAggregate(t *testing.T) {
+	act := &Activity{
+		Sem: Semantics{Op: OpAggregate, Attrs: []string{"K", "D"}, Agg: AggSum, AggAttr: "V", OutAttr: "TOTV"},
+		Fun: data.Schema{"K", "D", "V"}, Gen: data.Schema{"TOTV"}, Sel: 0.3,
+	}
+	g, ids := buildChain(t, data.Schema{"K", "D", "V", "X"}, data.Schema{"K", "D", "TOTV"}, act)
+	out := g.Node(ids[1]).Out
+	// Groupers survive (input order), aggregated value renamed, the rest
+	// projected out.
+	if !out.Equal(data.Schema{"K", "D", "TOTV"}) {
+		t.Errorf("aggregate out = %v", out)
+	}
+}
+
+func TestDeriveSurrogateKey(t *testing.T) {
+	act := &Activity{
+		Sem: Semantics{Op: OpSurrogateKey, KeyAttr: "K", OutAttr: "SK", Lookup: "L"},
+		Fun: data.Schema{"K"}, Gen: data.Schema{"SK"}, PrjOut: data.Schema{"K"}, Sel: 1,
+	}
+	g, ids := buildChain(t, data.Schema{"K", "V"}, data.Schema{"SK", "V"}, act)
+	if !g.Node(ids[1]).Out.Equal(data.Schema{"V", "SK"}) {
+		t.Errorf("sk out = %v", g.Node(ids[1]).Out)
+	}
+}
+
+func TestDeriveJoinUnionDiff(t *testing.T) {
+	g := NewGraph()
+	l := g.AddRecordset(&RecordsetRef{Name: "L", Schema: data.Schema{"K", "A"}, Rows: 10, IsSource: true})
+	r := g.AddRecordset(&RecordsetRef{Name: "R", Schema: data.Schema{"K", "B"}, Rows: 10, IsSource: true})
+	j := g.AddActivity(&Activity{Sem: Semantics{Op: OpJoin, Attrs: []string{"K"}}, Fun: data.Schema{"K"}, Sel: 0.1})
+	tgt := g.AddRecordset(&RecordsetRef{Name: "T", Schema: data.Schema{"K", "A", "B"}, IsTarget: true})
+	g.MustAddEdge(l, j)
+	g.MustAddEdge(r, j)
+	g.MustAddEdge(j, tgt)
+	if err := g.RegenerateSchemata(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Node(j).Out.Equal(data.Schema{"K", "A", "B"}) {
+		t.Errorf("join out = %v", g.Node(j).Out)
+	}
+	if err := g.CheckWellFormed(); err != nil {
+		t.Errorf("join graph should be well-formed: %v", err)
+	}
+}
+
+func TestCheckWellFormedFunViolation(t *testing.T) {
+	// Filter on an attribute the source lacks.
+	g, _ := buildChain(t, data.Schema{"A"}, data.Schema{"A"})
+	_ = g
+	g2 := NewGraph()
+	src := g2.AddRecordset(&RecordsetRef{Name: "S", Schema: data.Schema{"A"}, IsSource: true})
+	bad := g2.AddActivity(&Activity{Sem: Semantics{Op: OpNotNull, Attrs: []string{"Z"}}, Fun: data.Schema{"Z"}, Sel: 1})
+	tgt := g2.AddRecordset(&RecordsetRef{Name: "T", Schema: data.Schema{"A"}, IsTarget: true})
+	g2.MustAddEdge(src, bad)
+	g2.MustAddEdge(bad, tgt)
+	if err := g2.RegenerateSchemata(); err != nil {
+		t.Fatal(err)
+	}
+	err := g2.CheckWellFormed()
+	if err == nil || !strings.Contains(err.Error(), "functionality") {
+		t.Errorf("fun-schema violation not caught: %v", err)
+	}
+}
+
+func TestCheckWellFormedTargetMismatch(t *testing.T) {
+	// Target expects B, provider delivers A.
+	g := NewGraph()
+	src := g.AddRecordset(&RecordsetRef{Name: "S", Schema: data.Schema{"A"}, IsSource: true})
+	tgt := g.AddRecordset(&RecordsetRef{Name: "T", Schema: data.Schema{"B"}, IsTarget: true})
+	g.MustAddEdge(src, tgt)
+	if err := g.RegenerateSchemata(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CheckWellFormed(); err == nil {
+		t.Error("target schema mismatch not caught")
+	}
+}
+
+func TestCheckWellFormedUnionMismatch(t *testing.T) {
+	g := NewGraph()
+	s1 := g.AddRecordset(&RecordsetRef{Name: "S1", Schema: data.Schema{"A"}, IsSource: true})
+	s2 := g.AddRecordset(&RecordsetRef{Name: "S2", Schema: data.Schema{"B"}, IsSource: true})
+	u := g.AddActivity(&Activity{Sem: Semantics{Op: OpUnion}, Sel: 1})
+	tgt := g.AddRecordset(&RecordsetRef{Name: "T", Schema: data.Schema{"A"}, IsTarget: true})
+	g.MustAddEdge(s1, u)
+	g.MustAddEdge(s2, u)
+	g.MustAddEdge(u, tgt)
+	if err := g.RegenerateSchemata(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CheckWellFormed(); err == nil || !strings.Contains(err.Error(), "union") {
+		t.Errorf("union schema mismatch not caught: %v", err)
+	}
+}
+
+func TestCheckWellFormedRequiredIn(t *testing.T) {
+	// The Fig. 6 situation: an activity declares a required input attribute
+	// beyond its functionality schema; when the attribute disappears the
+	// state is rejected.
+	act := &Activity{
+		Sem:        Semantics{Op: OpNotNull, Attrs: []string{"A"}},
+		Fun:        data.Schema{"A"},
+		RequiredIn: data.Schema{"GONE"},
+		Sel:        1,
+	}
+	g := NewGraph()
+	src := g.AddRecordset(&RecordsetRef{Name: "S", Schema: data.Schema{"A"}, IsSource: true})
+	id := g.AddActivity(act)
+	tgt := g.AddRecordset(&RecordsetRef{Name: "T", Schema: data.Schema{"A"}, IsTarget: true})
+	g.MustAddEdge(src, id)
+	g.MustAddEdge(id, tgt)
+	if err := g.RegenerateSchemata(); err != nil {
+		t.Fatal(err)
+	}
+	err := g.CheckWellFormed()
+	if err == nil || !strings.Contains(err.Error(), "declared input") {
+		t.Errorf("RequiredIn violation not caught: %v", err)
+	}
+}
+
+func TestIncrementalRegenerateMatchesFull(t *testing.T) {
+	// Build a chain, mutate it (swap rewiring), then compare incremental
+	// regeneration against full regeneration on an identical twin.
+	mk := func() (*Graph, []NodeID) {
+		conv := &Activity{
+			Sem: Semantics{Op: OpFunc, Fn: "dollar2euro", FnArgs: []string{"D"}, OutAttr: "E", DropArgs: true},
+			Fun: data.Schema{"D"}, Gen: data.Schema{"E"}, PrjOut: data.Schema{"D"}, Sel: 1,
+		}
+		nn := &Activity{Sem: Semantics{Op: OpNotNull, Attrs: []string{"K"}}, Fun: data.Schema{"K"}, Sel: 0.9}
+		return buildChain(t, data.Schema{"K", "D"}, data.Schema{"K", "E"}, conv, nn)
+	}
+	g1, ids := mk()
+	g2, _ := mk()
+
+	swapRewire := func(g *Graph, a1, a2 NodeID) {
+		p := g.Providers(a1)[0]
+		c := g.Consumers(a2)[0]
+		g.MustReplaceProvider(c, a2, a1)
+		g.MustReplaceProvider(a1, p, a2)
+		g.MustReplaceProvider(a2, a1, p)
+	}
+	swapRewire(g1, ids[1], ids[2])
+	swapRewire(g2, ids[1], ids[2])
+
+	if _, err := g1.RegenerateSchemataIncremental([]NodeID{ids[1], ids[2]}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.RegenerateSchemata(); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range g1.Nodes() {
+		n1, n2 := g1.Node(id), g2.Node(id)
+		if !n1.Out.Equal(n2.Out) {
+			t.Errorf("node %d: incremental Out %v != full Out %v", id, n1.Out, n2.Out)
+		}
+		if len(n1.In) != len(n2.In) {
+			t.Fatalf("node %d: In arity differs", id)
+		}
+		for i := range n1.In {
+			if !n1.In[i].Equal(n2.In[i]) {
+				t.Errorf("node %d: incremental In[%d] %v != full %v", id, i, n1.In[i], n2.In[i])
+			}
+		}
+	}
+}
+
+func TestDeriveMergedComposition(t *testing.T) {
+	comp1 := &Activity{Sem: Semantics{Op: OpNotNull, Attrs: []string{"A"}}, Fun: data.Schema{"A"}, Sel: 0.9}
+	comp2 := &Activity{
+		Sem: Semantics{Op: OpFunc, Fn: "dollar2euro", FnArgs: []string{"A"}, OutAttr: "E", DropArgs: true},
+		Fun: data.Schema{"A"}, Gen: data.Schema{"E"}, PrjOut: data.Schema{"A"}, Sel: 1,
+	}
+	merged := &Activity{
+		Sem: Semantics{Op: OpMerged, Components: []*Activity{comp1, comp2}},
+		Fun: data.Schema{"A"}, Gen: data.Schema{"E"}, PrjOut: data.Schema{"A"}, Sel: 0.9,
+	}
+	g, ids := buildChain(t, data.Schema{"A", "B"}, data.Schema{"B", "E"}, merged)
+	if !g.Node(ids[1]).Out.Equal(data.Schema{"B", "E"}) {
+		t.Errorf("merged out = %v", g.Node(ids[1]).Out)
+	}
+	if err := g.CheckWellFormed(); err != nil {
+		t.Errorf("merged chain should be well-formed: %v", err)
+	}
+}

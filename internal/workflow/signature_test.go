@@ -1,0 +1,235 @@
+package workflow
+
+import (
+	"testing"
+
+	"etlopt/internal/data"
+)
+
+// fig1Shape builds a graph shaped like the paper's Fig. 1 (two branches
+// into a union, then a selection into the warehouse) using neutral
+// pass-through activities, for structural tests that live below the
+// templates package.
+func fig1Shape(t *testing.T) (*Graph, map[string]NodeID) {
+	t.Helper()
+	g := NewGraph()
+	n := map[string]NodeID{}
+	schema := data.Schema{"A"}
+	pass := func(name string) *Activity {
+		return &Activity{Name: name, Sem: Semantics{Op: OpNotNull, Attrs: []string{"A"}}, Fun: data.Schema{"A"}, Sel: 0.9}
+	}
+	n["s1"] = g.AddRecordset(&RecordsetRef{Name: "S1", Schema: schema, Rows: 10, IsSource: true})
+	n["s2"] = g.AddRecordset(&RecordsetRef{Name: "S2", Schema: schema, Rows: 10, IsSource: true})
+	n["a3"] = g.AddActivity(pass("a3"))
+	n["a4"] = g.AddActivity(pass("a4"))
+	n["a5"] = g.AddActivity(pass("a5"))
+	n["a6"] = g.AddActivity(pass("a6"))
+	n["u7"] = g.AddActivity(&Activity{Name: "U", Sem: Semantics{Op: OpUnion}, Sel: 1})
+	n["a8"] = g.AddActivity(pass("a8"))
+	n["dw"] = g.AddRecordset(&RecordsetRef{Name: "DW", Schema: schema, IsTarget: true})
+	g.MustAddEdge(n["s1"], n["a3"])
+	g.MustAddEdge(n["s2"], n["a4"])
+	g.MustAddEdge(n["a4"], n["a5"])
+	g.MustAddEdge(n["a5"], n["a6"])
+	g.MustAddEdge(n["a3"], n["u7"])
+	g.MustAddEdge(n["a6"], n["u7"])
+	g.MustAddEdge(n["u7"], n["a8"])
+	g.MustAddEdge(n["a8"], n["dw"])
+	if err := g.RegenerateSchemata(); err != nil {
+		t.Fatal(err)
+	}
+	return g, n
+}
+
+func TestSignaturePaperFormat(t *testing.T) {
+	g, _ := fig1Shape(t)
+	// Node IDs follow insertion order: S1=1, S2=2, a3=3, a4=4, a5=5, a6=6,
+	// U=7, a8=8, DW=9 — the paper's ((1.3)//(2.4.5.6)).7.8.9.
+	want := "((1.3)//(2.4.5.6)).7.8.9"
+	if got := g.Signature(); got != want {
+		t.Errorf("Signature = %q, want %q", got, want)
+	}
+}
+
+func TestSignatureBranchOrderCanonical(t *testing.T) {
+	// Building the same workflow attaching the union's branches in the
+	// opposite order must not change the signature (branches sort).
+	g1, _ := fig1Shape(t)
+	g2 := NewGraph()
+	schema := data.Schema{"A"}
+	pass := func(name string) *Activity {
+		return &Activity{Name: name, Sem: Semantics{Op: OpNotNull, Attrs: []string{"A"}}, Fun: data.Schema{"A"}, Sel: 0.9}
+	}
+	s1 := g2.AddRecordset(&RecordsetRef{Name: "S1", Schema: schema, Rows: 10, IsSource: true})
+	s2 := g2.AddRecordset(&RecordsetRef{Name: "S2", Schema: schema, Rows: 10, IsSource: true})
+	a3 := g2.AddActivity(pass("a3"))
+	a4 := g2.AddActivity(pass("a4"))
+	a5 := g2.AddActivity(pass("a5"))
+	a6 := g2.AddActivity(pass("a6"))
+	u7 := g2.AddActivity(&Activity{Name: "U", Sem: Semantics{Op: OpUnion}, Sel: 1})
+	a8 := g2.AddActivity(pass("a8"))
+	dw := g2.AddRecordset(&RecordsetRef{Name: "DW", Schema: schema, IsTarget: true})
+	g2.MustAddEdge(s1, a3)
+	g2.MustAddEdge(s2, a4)
+	g2.MustAddEdge(a4, a5)
+	g2.MustAddEdge(a5, a6)
+	g2.MustAddEdge(a6, u7) // branches attached in reverse order
+	g2.MustAddEdge(a3, u7)
+	g2.MustAddEdge(u7, a8)
+	g2.MustAddEdge(a8, dw)
+	if err := g2.RegenerateSchemata(); err != nil {
+		t.Fatal(err)
+	}
+	if g1.Signature() != g2.Signature() {
+		t.Errorf("branch attachment order changed signature: %q vs %q", g1.Signature(), g2.Signature())
+	}
+}
+
+func TestSignatureDistinguishesOrderings(t *testing.T) {
+	g, n := fig1Shape(t)
+	sig1 := g.Signature()
+	// Manually swap a5 and a6.
+	c := g.Clone()
+	p := c.Providers(n["a5"])[0]
+	consumer := c.Consumers(n["a6"])[0]
+	c.MustReplaceProvider(consumer, n["a6"], n["a5"])
+	c.MustReplaceProvider(n["a5"], p, n["a6"])
+	c.MustReplaceProvider(n["a6"], n["a5"], p)
+	if c.Signature() == sig1 {
+		t.Error("different activity orderings share a signature")
+	}
+}
+
+func TestLocalGroupsFig1(t *testing.T) {
+	g, n := fig1Shape(t)
+	groups := g.LocalGroups()
+	if len(groups) != 3 {
+		t.Fatalf("LocalGroups = %v, want 3 groups", groups)
+	}
+	want := [][]NodeID{
+		{n["a3"]},
+		{n["a4"], n["a5"], n["a6"]},
+		{n["a8"]},
+	}
+	for i, grp := range groups {
+		if len(grp) != len(want[i]) {
+			t.Fatalf("group %d = %v, want %v", i, grp, want[i])
+		}
+		for j := range grp {
+			if grp[j] != want[i][j] {
+				t.Fatalf("group %d = %v, want %v", i, grp, want[i])
+			}
+		}
+	}
+}
+
+func TestGroupOf(t *testing.T) {
+	g, n := fig1Shape(t)
+	grp := g.GroupOf(n["a5"])
+	if len(grp) != 3 || grp[0] != n["a4"] {
+		t.Errorf("GroupOf(a5) = %v", grp)
+	}
+	if g.GroupOf(n["u7"]) != nil {
+		t.Error("binary activities belong to no local group")
+	}
+}
+
+func TestFindHomologousPairs(t *testing.T) {
+	g, n := fig1Shape(t)
+	// a3 and every NN in the second branch share semantics and schemata,
+	// and their groups converge on the union.
+	pairs := g.FindHomologousPairs()
+	if len(pairs) != 3 {
+		t.Fatalf("FindHomologousPairs = %v, want 3 (a3 × each of a4,a5,a6)", pairs)
+	}
+	for _, hp := range pairs {
+		if hp.Binary != n["u7"] || hp.A != n["a3"] {
+			t.Errorf("unexpected pair %+v", hp)
+		}
+	}
+}
+
+func TestFindDistributableActivities(t *testing.T) {
+	g, n := fig1Shape(t)
+	das := g.FindDistributableActivities()
+	if len(das) != 1 || das[0].Activity != n["a8"] || das[0].Binary != n["u7"] {
+		t.Errorf("FindDistributableActivities = %v", das)
+	}
+}
+
+func TestCanDistributeOverRules(t *testing.T) {
+	union := &Activity{Sem: Semantics{Op: OpUnion}}
+	join := &Activity{Sem: Semantics{Op: OpJoin, Attrs: []string{"K"}}, Fun: data.Schema{"K"}}
+	diff := &Activity{Sem: Semantics{Op: OpDiff, Attrs: []string{"K"}}, Fun: data.Schema{"K"}}
+
+	filterK := &Activity{Sem: Semantics{Op: OpFilter}, Fun: data.Schema{"K"}}
+	filterV := &Activity{Sem: Semantics{Op: OpFilter}, Fun: data.Schema{"V"}}
+	agg := &Activity{Sem: Semantics{Op: OpAggregate, Attrs: []string{"K"}}, Fun: data.Schema{"K"}}
+	distinct := &Activity{Sem: Semantics{Op: OpDistinct}}
+	sk := &Activity{Sem: Semantics{Op: OpSurrogateKey, KeyAttr: "K", OutAttr: "S", Lookup: "L"}, Fun: data.Schema{"K"}}
+	groupPK := &Activity{Sem: Semantics{Op: OpPKCheck, Attrs: []string{"K"}}, Fun: data.Schema{"K"}}
+	lookupPK := &Activity{Sem: Semantics{Op: OpPKCheck, Attrs: []string{"K"}, Lookup: "L"}, Fun: data.Schema{"K"}}
+
+	cases := []struct {
+		a, b *Activity
+		want bool
+		desc string
+	}{
+		{filterV, union, true, "selection over union"},
+		{sk, union, true, "surrogate key over union (per-row lookup)"},
+		{lookupPK, union, true, "lookup-based key check over union"},
+		{agg, union, false, "aggregation over union"},
+		{distinct, union, false, "distinct over union"},
+		{groupPK, union, false, "group-based key check over union"},
+		{filterK, join, true, "key-attribute selection over join"},
+		{filterV, join, false, "non-key selection over join"},
+		{filterK, diff, true, "key-attribute selection over difference"},
+		{filterV, diff, false, "non-key selection over difference"},
+		{sk, join, false, "surrogate key over join"},
+		{union, union, false, "binary over binary"},
+	}
+	for _, c := range cases {
+		if got := CanDistributeOver(c.a, c.b); got != c.want {
+			t.Errorf("%s: CanDistributeOver = %v, want %v", c.desc, got, c.want)
+		}
+	}
+}
+
+func TestSemanticsStringCanonical(t *testing.T) {
+	a := Semantics{Op: OpProject, Attrs: []string{"B", "A"}}
+	b := Semantics{Op: OpProject, Attrs: []string{"A", "B"}}
+	if a.String() != b.String() {
+		t.Errorf("projection semantics should be order-insensitive: %q vs %q", a, b)
+	}
+	agg := Semantics{Op: OpAggregate, Attrs: []string{"K"}, Agg: AggSum, AggAttr: "V", OutAttr: "T"}
+	if agg.String() != "aggregate([K];sum(V)->T)" {
+		t.Errorf("aggregate semantics = %q", agg.String())
+	}
+}
+
+func TestHomologousRequiresSchemata(t *testing.T) {
+	a := &Activity{Sem: Semantics{Op: OpNotNull, Attrs: []string{"A"}}, Fun: data.Schema{"A"}}
+	b := &Activity{Sem: Semantics{Op: OpNotNull, Attrs: []string{"A"}}, Fun: data.Schema{"A"}}
+	if !a.Homologous(b) {
+		t.Error("identical activities should be homologous")
+	}
+	c := &Activity{Sem: Semantics{Op: OpNotNull, Attrs: []string{"A"}}, Fun: data.Schema{"A", "B"}}
+	if a.Homologous(c) {
+		t.Error("different functionality schemata should not be homologous")
+	}
+	d := &Activity{Sem: Semantics{Op: OpNotNull, Attrs: []string{"B"}}, Fun: data.Schema{"B"}}
+	if a.Homologous(d) {
+		t.Error("different semantics should not be homologous")
+	}
+}
+
+func TestPredicateRendering(t *testing.T) {
+	a := &Activity{Sem: Semantics{Op: OpNotNull, Attrs: []string{"COST"}}, Fun: data.Schema{"COST"}}
+	if a.Predicate() != "notnull(COST)" {
+		t.Errorf("Predicate = %q", a.Predicate())
+	}
+	m := &Activity{Sem: Semantics{Op: OpMerged, Components: []*Activity{a, a}}}
+	if m.Predicate() != "notnull(COST) ∧ notnull(COST)" {
+		t.Errorf("merged Predicate = %q", m.Predicate())
+	}
+}
