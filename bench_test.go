@@ -15,6 +15,7 @@
 package etlopt
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -31,7 +32,7 @@ import (
 // each algorithm. All three find the Fig. 2 optimum; the metric of
 // interest is the visited-state count and time per algorithm.
 func BenchmarkFig1Scenario(b *testing.B) {
-	algos := map[string]func(*workflow.Graph, core.Options) (*core.Result, error){
+	algos := map[string]func(context.Context, *workflow.Graph, core.Options) (*core.Result, error){
 		"ES":       core.Exhaustive,
 		"HS":       core.Heuristic,
 		"HSGreedy": core.HSGreedy,
@@ -43,7 +44,7 @@ func BenchmarkFig1Scenario(b *testing.B) {
 			var err error
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res, err = algo(g, core.Options{MaxStates: 20_000, IncrementalCost: true})
+				res, err = algo(context.Background(), g, core.Options{MaxStates: 20_000, IncrementalCost: true})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -93,7 +94,7 @@ func benchCategory(b *testing.B, cat generator.Category, esBudget, hsBudget int)
 	}
 	type algo struct {
 		name string
-		run  func(*workflow.Graph, core.Options) (*core.Result, error)
+		run  func(context.Context, *workflow.Graph, core.Options) (*core.Result, error)
 		opts core.Options
 	}
 	algos := []algo{
@@ -108,7 +109,7 @@ func benchCategory(b *testing.B, cat generator.Category, esBudget, hsBudget int)
 			var res *core.Result
 			var err error
 			for i := 0; i < b.N; i++ {
-				res, err = a.run(sc.Graph, a.opts)
+				res, err = a.run(context.Background(), sc.Graph, a.opts)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -146,7 +147,7 @@ func BenchmarkAblationDedup(b *testing.B) {
 			var res *core.Result
 			var err error
 			for i := 0; i < b.N; i++ {
-				res, err = core.Exhaustive(g, core.Options{
+				res, err = core.Exhaustive(context.Background(), g, core.Options{
 					MaxStates: 5_000, IncrementalCost: true, DisableDedup: mode.disable,
 				})
 				if err != nil {
@@ -179,7 +180,7 @@ func BenchmarkAblationIncrementalCost(b *testing.B) {
 	}{{"Incremental", true}, {"Full", false}} {
 		b.Run(mode.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := core.Heuristic(sc.Graph, core.Options{
+				if _, err := core.Heuristic(context.Background(), sc.Graph, core.Options{
 					MaxStates: 4_000, IncrementalCost: mode.inc,
 				}); err != nil {
 					b.Fatal(err)
@@ -204,7 +205,7 @@ func BenchmarkAblationPhaseI(b *testing.B) {
 			var res *core.Result
 			for i := 0; i < b.N; i++ {
 				var err error
-				res, err = core.Heuristic(sc.Graph, core.Options{
+				res, err = core.Heuristic(context.Background(), sc.Graph, core.Options{
 					MaxStates: 6_000, IncrementalCost: true, DisablePhaseI: mode.disable,
 				})
 				if err != nil {
@@ -242,7 +243,7 @@ func BenchmarkAblationMerge(b *testing.B) {
 			var res *core.Result
 			for i := 0; i < b.N; i++ {
 				var err error
-				res, err = core.Heuristic(g, core.Options{
+				res, err = core.Heuristic(context.Background(), g, core.Options{
 					IncrementalCost: true, MergeConstraints: mode.pairs,
 				})
 				if err != nil {
@@ -274,7 +275,7 @@ func BenchmarkEngineModes(b *testing.B) {
 			var rows int
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res, err := e.Run(sc.Graph)
+				res, err := e.Run(context.Background(), sc.Graph)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -393,6 +394,76 @@ func BenchmarkSignatureScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelES measures the parallel search's scaling: the same
+// budgeted ES run at 1, 2, 4 and 8 workers. Results (best cost, visited
+// states) are identical at every width by construction — the benchmark
+// asserts it — so the only thing that varies is wall-clock time. Speedup
+// is bounded by how much of the search is successor costing (the
+// parallel fraction) and by the machine's core count.
+func BenchmarkParallelES(b *testing.B) {
+	sc, err := generator.Generate(generator.CategoryConfig(generator.Medium, 20050405))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ref, err := core.Exhaustive(context.Background(), sc.Graph, core.Options{
+		MaxStates: 4_000, IncrementalCost: true, Workers: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var res *core.Result
+			for i := 0; i < b.N; i++ {
+				res, err = core.Exhaustive(context.Background(), sc.Graph, core.Options{
+					MaxStates: 4_000, IncrementalCost: true, Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if res.BestCost != ref.BestCost || res.Visited != ref.Visited {
+				b.Fatalf("workers=%d changed the result: (%v,%d) vs (%v,%d)",
+					workers, res.BestCost, res.Visited, ref.BestCost, ref.Visited)
+			}
+			b.ReportMetric(float64(res.Visited), "states")
+		})
+	}
+}
+
+// BenchmarkParallelHS is the HS counterpart: local groups optimized
+// concurrently, identical results at every worker count.
+func BenchmarkParallelHS(b *testing.B) {
+	sc, err := generator.Generate(generator.CategoryConfig(generator.Large, 20050405))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ref, err := core.Heuristic(context.Background(), sc.Graph, core.Options{
+		MaxStates: 10_000, IncrementalCost: true, Workers: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var res *core.Result
+			for i := 0; i < b.N; i++ {
+				res, err = core.Heuristic(context.Background(), sc.Graph, core.Options{
+					MaxStates: 10_000, IncrementalCost: true, Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if res.BestCost != ref.BestCost || res.Visited != ref.Visited {
+				b.Fatalf("workers=%d changed the result: (%v,%d) vs (%v,%d)",
+					workers, res.BestCost, res.Visited, ref.BestCost, ref.Visited)
+			}
+			b.ReportMetric(res.Improvement(), "improvement%")
+		})
+	}
+}
+
 // BenchmarkPhysicalVsLogical optimizes the same workflow under the
 // logical row model and under the physical model (hash/sort operator
 // choice, cached lookups, I/O-aware spills) — the §6 "physical
@@ -413,7 +484,7 @@ func BenchmarkPhysicalVsLogical(b *testing.B) {
 			var res *core.Result
 			for i := 0; i < b.N; i++ {
 				var err error
-				res, err = core.Heuristic(sc.Graph, core.Options{
+				res, err = core.Heuristic(context.Background(), sc.Graph, core.Options{
 					Model: m, IncrementalCost: true, MaxStates: 6_000,
 				})
 				if err != nil {

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -41,6 +42,7 @@ func run() error {
 		seed      = flag.Int64("seed", 20050405, "base random seed (ICDE 2005 started April 5)")
 		esBudget  = flag.Int("esbudget", 60_000, "ES state budget per workflow")
 		hsBudget  = flag.Int("hsbudget", 30_000, "HS state budget per workflow")
+		workers   = flag.Int("workers", 0, "search parallelism (0 = all CPUs, 1 = sequential; same results either way)")
 		verify    = flag.Bool("verify", false, "validate every optimized workflow on generated data")
 		fig4      = flag.Bool("fig4", false, "print only the Fig. 4 cost cases")
 		ablations = flag.Bool("ablations", false, "run the DESIGN.md ablation studies and exit")
@@ -74,12 +76,13 @@ func run() error {
 		Counts:   countMap,
 		ESBudget: *esBudget,
 		HSBudget: *hsBudget,
+		Workers:  *workers,
 		Verify:   *verify,
 	}
 	if !*quiet {
 		cfg.Progress = os.Stderr
 	}
-	results, err := experiments.RunSuite(cfg)
+	results, err := experiments.RunSuite(context.Background(), cfg)
 	if err != nil {
 		return err
 	}
@@ -147,7 +150,7 @@ func runAblations(seed int64) error {
 		name    string
 		disable bool
 	}{{"with dedup", false}, {"without dedup", true}} {
-		res, err := core.Exhaustive(templates.Fig1Workflow(), core.Options{
+		res, err := core.Exhaustive(context.Background(), templates.Fig1Workflow(), core.Options{
 			MaxStates: 5000, IncrementalCost: true, DisableDedup: v.disable,
 		})
 		if err != nil {
@@ -170,7 +173,7 @@ func runAblations(seed int64) error {
 		inc  bool
 	}{{"incremental", true}, {"full recomputation", false}} {
 		start := time.Now()
-		res, err := core.Heuristic(sc.Graph, core.Options{MaxStates: 4000, IncrementalCost: v.inc})
+		res, err := core.Heuristic(context.Background(), sc.Graph, core.Options{MaxStates: 4000, IncrementalCost: v.inc})
 		if err != nil {
 			return err
 		}
@@ -185,7 +188,7 @@ func runAblations(seed int64) error {
 		name    string
 		disable bool
 	}{{"with Phase I", false}, {"without Phase I", true}} {
-		res, err := core.Heuristic(sc.Graph, core.Options{
+		res, err := core.Heuristic(context.Background(), sc.Graph, core.Options{
 			MaxStates: 6000, IncrementalCost: true, DisablePhaseI: v.disable,
 		})
 		if err != nil {
@@ -215,7 +218,7 @@ func runAblations(seed int64) error {
 		{"unconstrained", nil},
 		{"merge constrained", [][2]workflow.NodeID{{d2e, a2e}}},
 	} {
-		res, err := core.Heuristic(g, core.Options{IncrementalCost: true, MergeConstraints: v.pairs})
+		res, err := core.Heuristic(context.Background(), g, core.Options{IncrementalCost: true, MergeConstraints: v.pairs})
 		if err != nil {
 			return err
 		}

@@ -6,14 +6,18 @@
 // Usage:
 //
 //	etlopt -in workflow.etl [-algo hs|greedy|es] [-maxstates N]
-//	       [-timeout 30s] [-out optimized.etl] [-verbose] [-lint]
+//	       [-workers N] [-timeout 30s] [-out optimized.etl] [-verbose] [-lint]
+//
+// An interrupt (Ctrl-C) cancels the search and exits with an error.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"time"
 
 	"etlopt/internal/core"
@@ -36,6 +40,7 @@ func run() error {
 		in        = flag.String("in", "", "workflow definition file ('-' for stdin)")
 		algo      = flag.String("algo", "hs", "search algorithm: es, hs or greedy")
 		maxStates = flag.Int("maxstates", 0, "state generation budget (0 = default)")
+		workers   = flag.Int("workers", 0, "search parallelism (0 = all CPUs, 1 = sequential; same result either way)")
 		timeout   = flag.Duration("timeout", 0, "wall-clock budget (0 = none)")
 		out       = flag.String("out", "", "write the optimized workflow definition here")
 		verbose   = flag.Bool("verbose", false, "print both workflow graphs")
@@ -90,19 +95,23 @@ func run() error {
 		return nil
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	opts := core.Options{
 		MaxStates:       *maxStates,
+		Workers:         *workers,
 		Timeout:         *timeout,
 		IncrementalCost: true,
 	}
 	var res *core.Result
 	switch *algo {
 	case "es":
-		res, err = core.Exhaustive(g, opts)
+		res, err = core.Exhaustive(ctx, g, opts)
 	case "hs":
-		res, err = core.Heuristic(g, opts)
+		res, err = core.Heuristic(ctx, g, opts)
 	case "greedy":
-		res, err = core.HSGreedy(g, opts)
+		res, err = core.HSGreedy(ctx, g, opts)
 	default:
 		return fmt.Errorf("unknown algorithm %q (want es, hs or greedy)", *algo)
 	}

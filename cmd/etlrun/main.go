@@ -12,9 +12,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -51,6 +53,10 @@ func run() error {
 		flag.Usage()
 		return fmt.Errorf("missing -in")
 	}
+	// An interrupt cancels the optimizer and the engine; with -checkpoint,
+	// completed nodes stay staged so a re-run resumes.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
 	src, err := os.ReadFile(*in)
 	if err != nil {
 		return err
@@ -69,11 +75,11 @@ func run() error {
 		opts := core.Options{IncrementalCost: true, MaxStates: 30_000}
 		switch *optimize {
 		case "es":
-			res, err = core.Exhaustive(g, opts)
+			res, err = core.Exhaustive(ctx, g, opts)
 		case "hs":
-			res, err = core.Heuristic(g, opts)
+			res, err = core.Heuristic(ctx, g, opts)
 		case "greedy":
-			res, err = core.HSGreedy(g, opts)
+			res, err = core.HSGreedy(ctx, g, opts)
 		default:
 			return fmt.Errorf("unknown optimizer %q", *optimize)
 		}
@@ -110,12 +116,12 @@ func run() error {
 		if staged, _ := cr.Staged(); len(staged) > 0 {
 			fmt.Printf("resuming: %d staged node outputs found\n", len(staged))
 		}
-		result, err = cr.Run(g)
+		result, err = cr.Run(ctx, g)
 		if err != nil {
 			return fmt.Errorf("run failed (progress staged in %s, re-run to resume): %w", *checkpoint, err)
 		}
 	} else {
-		result, err = e.Run(g)
+		result, err = e.Run(ctx, g)
 		if err != nil {
 			return err
 		}
@@ -145,7 +151,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		res, err := core.Heuristic(cal, core.Options{IncrementalCost: true, MaxStates: 30_000})
+		res, err := core.Heuristic(ctx, cal, core.Options{IncrementalCost: true, MaxStates: 30_000})
 		if err != nil {
 			return err
 		}

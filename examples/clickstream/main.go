@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -124,17 +125,17 @@ func main() {
 		res  *core.Result
 	}
 	var rows []row
-	es, err := core.Exhaustive(g, core.Options{MaxStates: 30_000, IncrementalCost: true})
+	es, err := core.Exhaustive(context.Background(), g, core.Options{MaxStates: 30_000, IncrementalCost: true})
 	if err != nil {
 		log.Fatal(err)
 	}
 	rows = append(rows, row{"ES", es})
-	hs, err := core.Heuristic(g, core.Options{IncrementalCost: true})
+	hs, err := core.Heuristic(context.Background(), g, core.Options{IncrementalCost: true})
 	if err != nil {
 		log.Fatal(err)
 	}
 	rows = append(rows, row{"HS", hs})
-	hsg, err := core.HSGreedy(g, core.Options{IncrementalCost: true})
+	hsg, err := core.HSGreedy(context.Background(), g, core.Options{IncrementalCost: true})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -158,7 +159,7 @@ func main() {
 		"MOBILE_LOG": data.NewMemoryRecordset("MOBILE_LOG",
 			data.Schema{"TS", "URL", "STATUS", "AGENT", "BYTES"}).MustLoad(logRows(1200, 7)),
 	}
-	run, err := engine.New(bindings, engine.WithMode(engine.Pipelined)).Run(best)
+	run, err := engine.New(bindings, engine.WithMode(engine.Pipelined)).Run(context.Background(), best)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -50,7 +51,7 @@ func main() {
 	fmt.Print(g)
 
 	// Optimize exhaustively — the space is small enough to close.
-	res, err := core.Exhaustive(g, core.Options{MaxStates: 50_000, IncrementalCost: true})
+	res, err := core.Exhaustive(context.Background(), g, core.Options{MaxStates: 50_000, IncrementalCost: true})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func main() {
 
 	// Execute both workflows on the generated supplier data.
 	bindings := sc.Bind()
-	run, err := engine.New(bindings).Run(res.Best)
+	run, err := engine.New(bindings).Run(context.Background(), res.Best)
 	if err != nil {
 		log.Fatal(err)
 	}

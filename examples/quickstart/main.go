@@ -1,6 +1,7 @@
-// Quickstart: build a small ETL workflow programmatically, optimize it
-// with the heuristic search, execute both versions on in-memory data and
-// confirm they load identical records.
+// Quickstart: declare a small ETL workflow in the DSL, optimize it with
+// the heuristic search, execute both versions on in-memory data and
+// confirm they load identical records — all through the public pkg/etl
+// facade.
 //
 // The workflow cleans an orders feed: drop records without a customer id,
 // convert Dollar amounts to Euros, keep only amounts of at least 50 €,
@@ -8,44 +9,35 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"etlopt/internal/core"
-	"etlopt/internal/data"
-	"etlopt/internal/engine"
-	"etlopt/internal/equiv"
-	"etlopt/internal/templates"
-	"etlopt/internal/workflow"
+	"etlopt/pkg/etl"
 )
 
-func main() {
-	// 1. Declare the workflow graph: ORDERS → NN(CUST) → $2€ → σ(EAMT≥50) → DW.
-	g := workflow.NewGraph()
-	schema := data.Schema{"ORDER_ID", "CUST", "DAMT"}
+const workflowDSL = `
+recordset ORDERS source rows=10000 schema=ORDER_ID,CUST,DAMT
+activity nn notnull attrs=CUST sel=0.95
+activity conv convert fn=dollar2euro args=DAMT out=EAMT
+activity keep filter pred="EAMT >= 50" sel=0.3
+recordset DW.ORDERS target schema=ORDER_ID,CUST,EAMT
+flow ORDERS -> nn -> conv -> keep -> DW.ORDERS
+`
 
-	orders := g.AddRecordset(&workflow.RecordsetRef{
-		Name: "ORDERS", Schema: schema, Rows: 10_000, IsSource: true,
-	})
-	nn := g.AddActivity(templates.NotNull(0.95, "CUST"))
-	conv := g.AddActivity(templates.Convert("dollar2euro", "EAMT", "DAMT"))
-	sigma := g.AddActivity(templates.Threshold("EAMT", 50, 0.3))
-	dw := g.AddRecordset(&workflow.RecordsetRef{
-		Name: "DW.ORDERS", Schema: data.Schema{"ORDER_ID", "CUST", "EAMT"}, IsTarget: true,
-	})
-	g.MustAddEdge(orders, nn)
-	g.MustAddEdge(nn, conv)
-	g.MustAddEdge(conv, sigma)
-	g.MustAddEdge(sigma, dw)
-	if err := g.RegenerateSchemata(); err != nil {
+func main() {
+	ctx := context.Background()
+
+	// 1. Parse the workflow: ORDERS → NN(CUST) → $2€ → σ(EAMT≥50) → DW.
+	g, err := etl.Parse(workflowDSL)
+	if err != nil {
 		log.Fatal(err)
 	}
-
 	fmt.Println("initial workflow:", g.Signature())
 
 	// 2. Optimize. The selection cannot jump the conversion that produces
 	// EAMT (the paper's condition 3), but the NN check can move around.
-	res, err := core.Heuristic(g, core.Options{IncrementalCost: true})
+	res, err := etl.Optimize(ctx, g, etl.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,19 +45,18 @@ func main() {
 	fmt.Printf("cost: %.0f -> %.0f (%.1f%% better, %d states visited)\n",
 		res.InitialCost, res.BestCost, res.Improvement(), res.Visited)
 
-	// 3. Execute both versions on the same data.
-	rows := data.Rows{
-		{data.NewInt(1), data.NewString("acme"), data.NewFloat(40)},
-		{data.NewInt(2), data.NewString("acme"), data.NewFloat(90)},
-		{data.NewInt(3), data.Null, data.NewFloat(200)}, // no customer: dropped
-		{data.NewInt(4), data.NewString("zeta"), data.NewFloat(55.5)},
-		{data.NewInt(5), data.NewString("zeta"), data.NewFloat(70)},
+	// 3. Execute the optimized version on real data.
+	rows := etl.Rows{
+		{etl.NewInt(1), etl.NewString("acme"), etl.NewFloat(40)},
+		{etl.NewInt(2), etl.NewString("acme"), etl.NewFloat(90)},
+		{etl.NewInt(3), etl.Null, etl.NewFloat(200)}, // no customer: dropped
+		{etl.NewInt(4), etl.NewString("zeta"), etl.NewFloat(55.5)},
+		{etl.NewInt(5), etl.NewString("zeta"), etl.NewFloat(70)},
 	}
-	bindings := map[string]data.Recordset{
-		"ORDERS": data.NewMemoryRecordset("ORDERS", schema).MustLoad(rows),
+	bindings := map[string]etl.Recordset{
+		"ORDERS": etl.NewMemoryRecordset("ORDERS", etl.Schema{"ORDER_ID", "CUST", "DAMT"}).MustLoad(rows),
 	}
-
-	run, err := engine.New(bindings).Run(res.Best)
+	run, err := etl.Run(ctx, res.Best, bindings)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -75,7 +66,7 @@ func main() {
 	}
 
 	// 4. The optimizer's own guarantee, checked empirically.
-	ok, diff, err := equiv.VerifyEmpirical(g, res.Best, bindings)
+	ok, diff, err := etl.VerifyEmpirical(g, res.Best, bindings)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -64,7 +65,7 @@ func main() {
 	}
 	fmt.Println("retail workflow parsed from DSL:", g.Signature())
 
-	hs, err := core.Heuristic(g, core.Options{IncrementalCost: true, MaxStates: 20_000})
+	hs, err := core.Heuristic(context.Background(), g, core.Options{IncrementalCost: true, MaxStates: 20_000})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func main() {
 
 	// Build executable data.
 	bindings := buildBindings()
-	run, err := engine.New(bindings).Run(hs.Best)
+	run, err := engine.New(bindings).Run(context.Background(), hs.Best)
 	if err != nil {
 		log.Fatal(err)
 	}

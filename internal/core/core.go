@@ -17,7 +17,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"time"
 
 	"etlopt/internal/cost"
@@ -35,11 +37,26 @@ type Options struct {
 	MaxStates int
 	// GroupCap bounds the states generated while exhaustively exploring
 	// one local group's orderings in HS Phases I and IV (0 means the
-	// default of 800). Groups short enough to close within the cap are
+	// default of 400). Groups short enough to close within the cap are
 	// explored completely; larger groups are explored breadth-first until
 	// the cap. HS-Greedy ignores the cap (hill-climbing converges).
 	GroupCap int
-	// Timeout bounds wall-clock time; 0 means no limit.
+	// Workers sets the number of goroutines used to cost successor states
+	// (ES) and to optimize independent local groups (HS). 0 means
+	// runtime.GOMAXPROCS(0); 1 runs the search fully sequentially. The
+	// result — Best signature, BestCost, Visited, Generated — is identical
+	// for every value: parallel workers only precompute pure state
+	// evaluations, while admission, budgeting and best-state reduction
+	// stay on one goroutine in a fixed order (lowest cost first, ties
+	// broken by signature).
+	Workers int
+	// Timeout bounds wall-clock time; 0 means no limit. It is implemented
+	// as a context.WithTimeout derived from the caller's context, and the
+	// search stops gracefully (Terminated=false) when it fires.
+	//
+	// Deprecated: pass a context with a deadline to Exhaustive, Heuristic
+	// or HSGreedy instead; a cancelled or expired caller context aborts
+	// the search with ctx.Err().
 	Timeout time.Duration
 	// MergeConstraints lists activity pairs to merge during HS
 	// pre-processing (Heuristic 3), by node ID in the initial state. The
@@ -68,6 +85,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.GroupCap <= 0 {
 		o.GroupCap = 400
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	return o
 }
@@ -114,18 +134,35 @@ type state struct {
 }
 
 // search carries the shared bookkeeping of all three algorithms.
+//
+// Concurrency model: worker goroutines only ever read the search (opts,
+// model, parent costings) and consult the striped visited set; every
+// mutation — admit, countShift, best-state updates — happens on the
+// goroutine running the algorithm, in an order that does not depend on
+// the worker count. That single-writer discipline is what makes the
+// parallel search bit-reproducible.
 type search struct {
-	opts     Options
-	deadline time.Time
-	visited  map[string]bool
-	count    int // generation attempts (budget)
-	unique   int // distinct states (reported)
+	opts    Options
+	ctx     context.Context // the caller's context: cancellation aborts with ctx.Err()
+	runCtx  context.Context // ctx plus the deprecated Options.Timeout deadline
+	cancel  context.CancelFunc
+	pool    *pool
+	visited *visitedSet
+	count   int // generation attempts (budget)
+	unique  int // distinct states (reported)
 }
 
-func newSearch(opts Options) *search {
-	s := &search{opts: opts, visited: make(map[string]bool)}
+func newSearch(ctx context.Context, opts Options) *search {
+	s := &search{
+		opts:    opts,
+		ctx:     ctx,
+		runCtx:  ctx,
+		cancel:  func() {},
+		pool:    newPool(opts.Workers),
+		visited: newVisitedSet(),
+	}
 	if opts.Timeout > 0 {
-		s.deadline = time.Now().Add(opts.Timeout)
+		s.runCtx, s.cancel = context.WithTimeout(ctx, opts.Timeout)
 	}
 	return s
 }
@@ -136,10 +173,17 @@ func (s *search) budgetLeft() bool {
 	if s.count >= s.opts.MaxStates {
 		return false
 	}
-	if !s.deadline.IsZero() && time.Now().After(s.deadline) {
+	if s.runCtx.Err() != nil {
 		return false
 	}
 	return true
+}
+
+// aborted returns the caller's cancellation error, if any. A fired
+// Options.Timeout is not an abort — the search then returns its best
+// state with Terminated=false, as it always has.
+func (s *search) aborted() error {
+	return s.ctx.Err()
 }
 
 // admit registers a generated state; it returns false when the state is a
@@ -151,10 +195,9 @@ func (s *search) admit(sig string) bool {
 		s.unique++
 		return true
 	}
-	if s.visited[sig] {
+	if !s.visited.Add(sig) {
 		return false
 	}
-	s.visited[sig] = true
 	s.unique++
 	return true
 }
@@ -224,7 +267,7 @@ func (s *search) initialState(g0 *workflow.Graph) (*state, error) {
 	}
 	st := &state{g: g0, costing: costing, sig: g0.Signature()}
 	if !s.opts.DisableDedup {
-		s.visited[st.sig] = true
+		s.visited.Add(st.sig)
 	}
 	return st, nil
 }

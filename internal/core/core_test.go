@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -18,7 +19,7 @@ func TestFig1Fig2Optimization(t *testing.T) {
 	// (before NN in branch 1, after the aggregation in branch 2) and the
 	// aggregation swapped before the A2E reformat.
 	g := templates.Fig1Workflow()
-	res, err := Exhaustive(g, Options{MaxStates: 20_000, IncrementalCost: true})
+	res, err := Exhaustive(context.Background(), g, Options{MaxStates: 20_000, IncrementalCost: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,14 +83,14 @@ func TestFig1Fig2Optimization(t *testing.T) {
 	}
 
 	// HS and HS-Greedy find the same optimum on this small space.
-	hs, err := Heuristic(g, Options{IncrementalCost: true})
+	hs, err := Heuristic(context.Background(), g, Options{IncrementalCost: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if hs.BestCost != res.BestCost {
 		t.Errorf("HS cost %v != ES optimum %v", hs.BestCost, res.BestCost)
 	}
-	hsg, err := HSGreedy(g, Options{IncrementalCost: true})
+	hsg, err := HSGreedy(context.Background(), g, Options{IncrementalCost: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestExhaustiveFindsOptimumTinySpace(t *testing.T) {
 	if err := g.RegenerateSchemata(); err != nil {
 		t.Fatal(err)
 	}
-	res, err := Exhaustive(g, Options{})
+	res, err := Exhaustive(context.Background(), g, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestSearchBudgetRespected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Exhaustive(sc.Graph, Options{MaxStates: 500, IncrementalCost: true})
+	res, err := Exhaustive(context.Background(), sc.Graph, Options{MaxStates: 500, IncrementalCost: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +175,7 @@ func TestSearchTimeout(t *testing.T) {
 		t.Fatal(err)
 	}
 	start := time.Now()
-	res, err := Exhaustive(sc.Graph, Options{Timeout: 150 * time.Millisecond, IncrementalCost: true})
+	res, err := Exhaustive(context.Background(), sc.Graph, Options{Timeout: 150 * time.Millisecond, IncrementalCost: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,8 +193,8 @@ func TestHeuristicNeverWorseThanInitial(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, algo := range []func(*workflow.Graph, Options) (*Result, error){Heuristic, HSGreedy} {
-			res, err := algo(sc.Graph, Options{IncrementalCost: true, MaxStates: 5000})
+		for _, algo := range []func(context.Context, *workflow.Graph, Options) (*Result, error){Heuristic, HSGreedy} {
+			res, err := algo(context.Background(), sc.Graph, Options{IncrementalCost: true, MaxStates: 5000})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -223,7 +224,7 @@ func TestHeuristicResultsEquivalent(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := Heuristic(sc.Graph, Options{IncrementalCost: true, MaxStates: 5000})
+		res, err := Heuristic(context.Background(), sc.Graph, Options{IncrementalCost: true, MaxStates: 5000})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -251,11 +252,11 @@ func TestHSBeatsOrMatchesGreedy(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		hs, err := Heuristic(sc.Graph, Options{IncrementalCost: true, MaxStates: 8000})
+		hs, err := Heuristic(context.Background(), sc.Graph, Options{IncrementalCost: true, MaxStates: 8000})
 		if err != nil {
 			t.Fatal(err)
 		}
-		hsg, err := HSGreedy(sc.Graph, Options{IncrementalCost: true, MaxStates: 8000})
+		hsg, err := HSGreedy(context.Background(), sc.Graph, Options{IncrementalCost: true, MaxStates: 8000})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -275,11 +276,11 @@ func TestDeterminism(t *testing.T) {
 		t.Fatal(err)
 	}
 	run := func() (*Result, *Result) {
-		hs, err := Heuristic(sc.Graph, Options{IncrementalCost: true, MaxStates: 4000})
+		hs, err := Heuristic(context.Background(), sc.Graph, Options{IncrementalCost: true, MaxStates: 4000})
 		if err != nil {
 			t.Fatal(err)
 		}
-		hsg, err := HSGreedy(sc.Graph, Options{IncrementalCost: true, MaxStates: 4000})
+		hsg, err := HSGreedy(context.Background(), sc.Graph, Options{IncrementalCost: true, MaxStates: 4000})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -315,7 +316,7 @@ func TestMergeConstraints(t *testing.T) {
 			a2e = id
 		}
 	}
-	res, err := Heuristic(g, Options{
+	res, err := Heuristic(context.Background(), g, Options{
 		IncrementalCost:  true,
 		MergeConstraints: [][2]workflow.NodeID{{d2e, a2e}},
 	})
@@ -343,10 +344,10 @@ func TestInvalidInitialState(t *testing.T) {
 	src := g.AddRecordset(&workflow.RecordsetRef{Name: "S", Schema: data.Schema{"A"}, IsSource: true})
 	dangling := g.AddActivity(templates.NotNull(0.9, "A"))
 	g.MustAddEdge(src, dangling)
-	if _, err := Heuristic(g, Options{}); err == nil {
+	if _, err := Heuristic(context.Background(), g, Options{}); err == nil {
 		t.Error("invalid initial state should be rejected")
 	}
-	if _, err := Exhaustive(g, Options{}); err == nil {
+	if _, err := Exhaustive(context.Background(), g, Options{}); err == nil {
 		t.Error("invalid initial state should be rejected by ES too")
 	}
 }
@@ -358,11 +359,11 @@ func TestIncrementalCostMatchesFull(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := Heuristic(sc.Graph, Options{IncrementalCost: true, MaxStates: 4000})
+	a, err := Heuristic(context.Background(), sc.Graph, Options{IncrementalCost: true, MaxStates: 4000})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Heuristic(sc.Graph, Options{IncrementalCost: false, MaxStates: 4000})
+	b, err := Heuristic(context.Background(), sc.Graph, Options{IncrementalCost: false, MaxStates: 4000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -374,11 +375,11 @@ func TestIncrementalCostMatchesFull(t *testing.T) {
 
 func TestDisableDedupExploresMore(t *testing.T) {
 	g := templates.Fig1Workflow()
-	with, err := Exhaustive(g, Options{MaxStates: 3000, IncrementalCost: true})
+	with, err := Exhaustive(context.Background(), g, Options{MaxStates: 3000, IncrementalCost: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	without, err := Exhaustive(g, Options{MaxStates: 3000, IncrementalCost: true, DisableDedup: true})
+	without, err := Exhaustive(context.Background(), g, Options{MaxStates: 3000, IncrementalCost: true, DisableDedup: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -403,11 +404,11 @@ func TestDisablePhaseI(t *testing.T) {
 	// BenchmarkAblationPhaseI measures the quality/time tradeoff the
 	// paper discusses ("the existence of the first phase leads to a much
 	// better solution without consuming too many resources").
-	with, err := Heuristic(sc.Graph, Options{IncrementalCost: true, MaxStates: 8_000})
+	with, err := Heuristic(context.Background(), sc.Graph, Options{IncrementalCost: true, MaxStates: 8_000})
 	if err != nil {
 		t.Fatal(err)
 	}
-	without, err := Heuristic(sc.Graph, Options{IncrementalCost: true, MaxStates: 8_000, DisablePhaseI: true})
+	without, err := Heuristic(context.Background(), sc.Graph, Options{IncrementalCost: true, MaxStates: 8_000, DisablePhaseI: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -425,7 +426,7 @@ func TestDisablePhaseI(t *testing.T) {
 
 func TestTraceRecordsPath(t *testing.T) {
 	g := templates.Fig1Workflow()
-	res, err := Exhaustive(g, Options{MaxStates: 20000, IncrementalCost: true})
+	res, err := Exhaustive(context.Background(), g, Options{MaxStates: 20000, IncrementalCost: true})
 	if err != nil {
 		t.Fatal(err)
 	}

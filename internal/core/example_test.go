@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 
 	"etlopt/internal/core"
@@ -25,7 +26,7 @@ func ExampleHeuristic() {
 	g.MustAddEdge(nn, keep)
 	g.MustAddEdge(keep, dw)
 
-	res, err := core.Heuristic(g, core.Options{})
+	res, err := core.Heuristic(context.Background(), g, core.Options{})
 	if err != nil {
 		fmt.Println("error:", err)
 		return
@@ -53,7 +54,7 @@ func ExampleExhaustive() {
 	g.MustAddEdge(loose, tight)
 	g.MustAddEdge(tight, tgt)
 
-	res, _ := core.Exhaustive(g, core.Options{})
+	res, _ := core.Exhaustive(context.Background(), g, core.Options{})
 	fmt.Printf("terminated=%v cost %.0f -> %.0f\n", res.Terminated, res.InitialCost, res.BestCost)
 	// Output:
 	// terminated=true cost 1900 -> 1100

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"time"
 
+	"etlopt/internal/cost"
 	"etlopt/internal/transitions"
 	"etlopt/internal/workflow"
 )
@@ -22,8 +24,14 @@ import (
 //	Phase IV:  repeat the local-group swap optimization on every state the
 //	           previous phases produced.
 //	Post:      split all merged activities and return S_MIN.
-func Heuristic(g0 *workflow.Graph, opts Options) (*Result, error) {
-	return heuristicSearch("HS", g0, opts, false)
+//
+// Local groups are disjoint by construction (Heuristic 4 partitions the
+// unary activities), so Phases I and IV optimize them concurrently in the
+// Options.Workers pool; see optimizeLocalGroupsFrom for why that cannot
+// change the result. A cancelled ctx aborts the search at the next
+// expansion boundary and returns ctx.Err().
+func Heuristic(ctx context.Context, g0 *workflow.Graph, opts Options) (*Result, error) {
+	return heuristicSearch(ctx, "HS", g0, opts, false)
 }
 
 // HSGreedy runs the greedy variant of HS: Phases I and IV accept a swap
@@ -31,14 +39,15 @@ func Heuristic(g0 *workflow.Graph, opts Options) (*Result, error) {
 // exhaustively exploring each local group's orderings. Per §4.2 this is
 // substantially faster, matches HS on small workflows, and degrades on
 // medium and large ones.
-func HSGreedy(g0 *workflow.Graph, opts Options) (*Result, error) {
-	return heuristicSearch("HS-Greedy", g0, opts, true)
+func HSGreedy(ctx context.Context, g0 *workflow.Graph, opts Options) (*Result, error) {
+	return heuristicSearch(ctx, "HS-Greedy", g0, opts, true)
 }
 
-func heuristicSearch(alg string, g0 *workflow.Graph, opts Options, greedy bool) (*Result, error) {
+func heuristicSearch(ctx context.Context, alg string, g0 *workflow.Graph, opts Options, greedy bool) (*Result, error) {
 	opts = opts.withDefaults()
 	start := time.Now()
-	s := newSearch(opts)
+	s := newSearch(ctx, opts)
+	defer s.cancel()
 
 	s0, err := s.initialState(g0)
 	if err != nil {
@@ -190,39 +199,147 @@ func heuristicSearch(alg string, g0 *workflow.Graph, opts Options, greedy bool) 
 		}
 	}
 
+	if err := s.aborted(); err != nil {
+		return nil, err
+	}
 	// Post-processing (Ln 36): split merged activities — done by
 	// finishResult, whose SplitAll mirrors the reciprocal SPL constraints.
 	return finishResult(alg, s0, sMin, s, start, true)
 }
 
+// groupState is a state inside one local group's search, carrying the SWA
+// transitions that produced it from the group job's base state so the
+// winning ordering can be replayed onto any graph that shares the group.
+type groupState struct {
+	st    *state
+	swaps [][2]workflow.NodeID
+	descs []string
+}
+
+func (gs *groupState) extend(st *state, pair [2]workflow.NodeID, desc string) *groupState {
+	return &groupState{
+		st:    st,
+		swaps: append(append([][2]workflow.NodeID(nil), gs.swaps...), pair),
+		descs: append(append([]string(nil), gs.descs...), desc),
+	}
+}
+
+// groupOutcome is what one local-group job reports back to the reducer:
+// the best ordering found and the admission log — every signature the job
+// would have passed to search.admit, in discovery order. The reducer
+// replays the log sequentially, so the global counters and visited set
+// end up exactly as if the group had been optimized inline.
+type groupOutcome struct {
+	best   *groupState
+	admits []string
+}
+
 // optimizeLocalGroups runs the Phase I/IV swap optimization over every
-// local group of the state, feeding each group's best state into the next
-// group (the groups partition the unary activities, so their optimizations
-// compose). The cheapest state seen is returned.
+// local group of the state. The cheapest combination seen is returned.
 func (s *search) optimizeLocalGroups(st *state, greedy bool) *state {
 	return s.optimizeLocalGroupsFrom(st, greedy)
 }
 
+// optimizeLocalGroupsFrom optimizes every local group of the state and
+// composes the winning orderings. Groups partition the unary activities
+// (Heuristic 4) and a unary activity's output cardinality is invariant
+// under reordering its group (selectivities multiply commutatively), so
+// each group's search — legality, costs, and therefore its best ordering —
+// is independent of every other group's ordering. That independence is
+// what lets the groups run concurrently in the worker pool without
+// coordination: each job explores its group against the shared base state
+// (read-only; transitions clone before rewriting), and a sequential
+// reduction in group order replays the admission logs and applies the
+// winning swap sequences, keeping counters, visited set and the returned
+// state identical for every worker count. MaxStates is enforced at group
+// granularity: once the budget is exhausted, remaining groups are
+// skipped (uncounted), exactly as the sequential search would have
+// skipped them.
 func (s *search) optimizeLocalGroupsFrom(st *state, greedy bool) *state {
-	cur := st
+	if !s.budgetLeft() {
+		return st
+	}
+	var members []map[workflow.NodeID]bool
 	for _, grp := range st.g.LocalGroups() {
 		if len(grp) < 2 {
 			continue
 		}
-		members := make(map[workflow.NodeID]bool, len(grp))
+		m := make(map[workflow.NodeID]bool, len(grp))
 		for _, id := range grp {
-			members[id] = true
+			m[id] = true
 		}
+		members = append(members, m)
+	}
+	if len(members) == 0 {
+		return st
+	}
+	// Prime the shared graph's memoized topological order before the jobs
+	// start reading it concurrently.
+	st.g.TopoSort()
+
+	outcomes := make([]*groupOutcome, len(members))
+	s.pool.run(len(members), func(i int) {
+		out := &groupOutcome{}
 		if greedy {
-			cur = s.optimizeGroupGreedy(cur, members)
+			out.best = s.groupGreedy(st, members[i], out)
 		} else {
-			cur = s.optimizeGroupFull(cur, members)
+			out.best = s.groupFull(st, members[i], out)
 		}
+		outcomes[i] = out
+	})
+
+	// Deterministic reduction in group order.
+	cur := st
+	for _, out := range outcomes {
 		if !s.budgetLeft() {
 			break
 		}
+		for _, sig := range out.admits {
+			s.admit(sig)
+		}
+		if out.best == nil || len(out.best.swaps) == 0 {
+			continue
+		}
+		next, err := s.replaySwaps(cur, out.best)
+		if err != nil {
+			continue
+		}
+		if next.costing.Total < cur.costing.Total {
+			cur = next
+		}
 	}
 	return cur
+}
+
+// replaySwaps applies a group's winning swap sequence to cur's graph and
+// costs the composed state once, incrementally over the union of the
+// swaps' dirty sets. Replays cannot legally fail — the swaps were legal
+// against the base state and other groups' reorderings do not touch this
+// group's activities or schemata — but a rejection is reported rather
+// than trusted.
+func (s *search) replaySwaps(cur *state, gs *groupState) (*state, error) {
+	g := cur.g
+	var dirty []workflow.NodeID
+	for _, pair := range gs.swaps {
+		res, err := transitions.Swap(g, pair[0], pair[1])
+		if err != nil {
+			return nil, err
+		}
+		g = res.Graph
+		dirty = append(dirty, res.Dirty...)
+	}
+	var costing *cost.Costing
+	var err error
+	if s.opts.IncrementalCost {
+		costing, err = cost.EvaluateIncremental(cur.costing, g, s.opts.Model, dirty)
+	} else {
+		costing, err = cost.Evaluate(g, s.opts.Model)
+	}
+	if err != nil {
+		return nil, err
+	}
+	trace := append(append([]string(nil), cur.trace...), gs.descs...)
+	return &state{g: g, costing: costing, sig: g.Signature(), trace: trace}, nil
 }
 
 // adjacentPairs enumerates provider→consumer activity pairs within the
@@ -247,21 +364,23 @@ func adjacentPairs(g *workflow.Graph, members map[workflow.NodeID]bool) [][2]wor
 	return out
 }
 
-// optimizeGroupFull explores, breadth-first, every ordering of the group's
+// groupFull explores, breadth-first, every ordering of the group's
 // activities reachable through legal swaps, returning the cheapest state —
 // HS's exhaustive-within-a-group behaviour. The exploration is seeded with
 // the hill-climbing result so that, under a bounded budget, the full search
-// never returns a worse ordering than the greedy variant would.
-func (s *search) optimizeGroupFull(st *state, members map[workflow.NodeID]bool) *state {
-	best := s.optimizeGroupGreedy(st, members)
-	frontier := []*state{best}
-	localSeen := map[string]bool{st.sig: true, best.sig: true}
+// never returns a worse ordering than the greedy variant would. The
+// exploration is bounded by Options.GroupCap; it runs entirely against
+// job-local state so several groups can search concurrently.
+func (s *search) groupFull(base *state, members map[workflow.NodeID]bool, out *groupOutcome) *groupState {
+	best := s.groupGreedy(base, members, out)
+	frontier := []*groupState{best}
+	localSeen := map[string]bool{base.sig: true, best.st.sig: true}
 	generated := 0
-	for len(frontier) > 0 && s.budgetLeft() && generated < s.opts.GroupCap {
+	for len(frontier) > 0 && s.runCtx.Err() == nil && generated < s.opts.GroupCap {
 		cur := frontier[0]
 		frontier = frontier[1:]
-		for _, pair := range adjacentPairs(cur.g, members) {
-			res, err := transitions.Swap(cur.g, pair[0], pair[1])
+		for _, pair := range adjacentPairs(cur.st.g, members) {
+			res, err := transitions.Swap(cur.st.g, pair[0], pair[1])
 			if err != nil {
 				continue
 			}
@@ -270,17 +389,18 @@ func (s *search) optimizeGroupFull(st *state, members map[workflow.NodeID]bool) 
 				continue
 			}
 			localSeen[sig] = true
-			s.admit(sig)
+			out.admits = append(out.admits, sig)
 			generated++
-			st2, err := s.makeState(cur, res)
+			st2, err := s.makeState(cur.st, res)
 			if err != nil {
 				continue
 			}
-			if st2.costing.Total < best.costing.Total {
-				best = st2
+			gs2 := cur.extend(st2, pair, res.Description)
+			if st2.costing.Total < best.st.costing.Total {
+				best = gs2
 			}
-			frontier = append(frontier, st2)
-			if !s.budgetLeft() || generated >= s.opts.GroupCap {
+			frontier = append(frontier, gs2)
+			if generated >= s.opts.GroupCap || s.runCtx.Err() != nil {
 				break
 			}
 		}
@@ -288,30 +408,30 @@ func (s *search) optimizeGroupFull(st *state, members map[workflow.NodeID]bool) 
 	return best
 }
 
-// optimizeGroupGreedy performs the HS-Greedy variant of Phases I and IV:
-// a single pass over the group's adjacent pairs, applying a swap only when
-// it lowers the cost of the current minimum — the paper's "swaps only
-// those that lead to a state with less cost than the existing minimum".
-// One pass (rather than iterating to a fixpoint) is what makes HS-Greedy
-// fast but "unstable" on large workflows (§4.2): an improving swap further
+// groupGreedy performs the HS-Greedy variant of Phases I and IV: a single
+// pass over the group's adjacent pairs, applying a swap only when it
+// lowers the cost of the current minimum — the paper's "swaps only those
+// that lead to a state with less cost than the existing minimum". One
+// pass (rather than iterating to a fixpoint) is what makes HS-Greedy fast
+// but "unstable" on large workflows (§4.2): an improving swap further
 // down the group can be missed when an earlier pair was processed first.
-func (s *search) optimizeGroupGreedy(st *state, members map[workflow.NodeID]bool) *state {
-	cur := st
-	for _, pair := range adjacentPairs(cur.g, members) {
-		if !s.budgetLeft() {
+func (s *search) groupGreedy(base *state, members map[workflow.NodeID]bool, out *groupOutcome) *groupState {
+	cur := &groupState{st: base}
+	for _, pair := range adjacentPairs(cur.st.g, members) {
+		if s.runCtx.Err() != nil {
 			break
 		}
-		res, err := transitions.Swap(cur.g, pair[0], pair[1])
+		res, err := transitions.Swap(cur.st.g, pair[0], pair[1])
 		if err != nil {
 			continue
 		}
-		s.admit(res.Graph.Signature())
-		st2, err := s.makeState(cur, res)
+		out.admits = append(out.admits, res.Graph.Signature())
+		st2, err := s.makeState(cur.st, res)
 		if err != nil {
 			continue
 		}
-		if st2.costing.Total < cur.costing.Total {
-			cur = st2
+		if st2.costing.Total < cur.st.costing.Total {
+			cur = cur.extend(st2, pair, res.Description)
 		}
 	}
 	return cur

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// pool fans independent work items out over a bounded number of
+// goroutines. It is the execution substrate of the parallel search: ES
+// costs the successors of an expanded state through it, and HS optimizes
+// disjoint local groups through it. A pool is cheap — it holds no
+// persistent goroutines; each run spawns at most min(workers, n) of them
+// and waits for all to finish.
+//
+// Determinism contract: fn(i) must write only to the i-th slot of a
+// pre-sized result slice (plus thread-safe shared structures such as the
+// visitedSet). The scheduling order of items is unspecified, so any
+// order-sensitive reduction must happen after run returns, by index.
+type pool struct {
+	workers int
+}
+
+func newPool(workers int) *pool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &pool{workers: workers}
+}
+
+// parallel reports whether the pool would actually run n items
+// concurrently (more than one worker and more than one item).
+func (p *pool) parallel(n int) bool {
+	return p.workers > 1 && n > 1
+}
+
+// run executes fn(0) … fn(n-1), concurrently when the pool has more than
+// one worker. Items are claimed from a shared atomic counter so uneven
+// item costs balance across workers.
+func (p *pool) run(n int, fn func(i int)) {
+	if !p.parallel(n) {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,81 @@
+package core
+
+import "sync"
+
+// visitedStripes is the number of independently locked shards of the
+// visited set. 64 stripes keep contention negligible for any realistic
+// worker count while the per-stripe maps stay dense.
+const visitedStripes = 64
+
+// visitedSet is the signature-keyed duplicate-state detector of §4.1,
+// sharded across mutex-striped maps so concurrent workers can consult it
+// without serializing on one lock. Workers use the read path (Contains)
+// to skip costing states the search has already generated; the
+// authoritative write path (Add) stays on the single reducer goroutine,
+// which is what keeps admission — and therefore the search result —
+// deterministic regardless of worker count.
+type visitedSet struct {
+	stripes [visitedStripes]struct {
+		mu sync.RWMutex
+		m  map[string]struct{}
+	}
+}
+
+func newVisitedSet() *visitedSet {
+	v := &visitedSet{}
+	for i := range v.stripes {
+		v.stripes[i].m = make(map[string]struct{})
+	}
+	return v
+}
+
+// stripeFor hashes a signature to its shard (FNV-1a).
+func (v *visitedSet) stripeFor(sig string) *struct {
+	mu sync.RWMutex
+	m  map[string]struct{}
+} {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(sig); i++ {
+		h ^= uint64(sig[i])
+		h *= prime64
+	}
+	return &v.stripes[h%visitedStripes]
+}
+
+// Contains reports whether the signature was already admitted. Safe for
+// concurrent use with Add; a racing reader may miss an in-flight Add,
+// which only costs a speculative evaluation, never correctness.
+func (v *visitedSet) Contains(sig string) bool {
+	s := v.stripeFor(sig)
+	s.mu.RLock()
+	_, ok := s.m[sig]
+	s.mu.RUnlock()
+	return ok
+}
+
+// Add inserts the signature, reporting true when it was not yet present.
+func (v *visitedSet) Add(sig string) bool {
+	s := v.stripeFor(sig)
+	s.mu.Lock()
+	_, ok := s.m[sig]
+	if !ok {
+		s.m[sig] = struct{}{}
+	}
+	s.mu.Unlock()
+	return !ok
+}
+
+// Len returns the number of distinct signatures admitted.
+func (v *visitedSet) Len() int {
+	n := 0
+	for i := range v.stripes {
+		v.stripes[i].mu.RLock()
+		n += len(v.stripes[i].m)
+		v.stripes[i].mu.RUnlock()
+	}
+	return n
+}

@@ -1,6 +1,7 @@
 package cost
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -14,7 +15,7 @@ import (
 func runFig1(t *testing.T) (*workflow.Graph, map[workflow.NodeID]int) {
 	t.Helper()
 	sc := templates.Fig1Scenario(120, 360)
-	res, err := engine.New(sc.Bind()).Run(sc.Graph)
+	res, err := engine.New(sc.Bind()).Run(context.Background(), sc.Graph)
 	if err != nil {
 		t.Fatal(err)
 	}

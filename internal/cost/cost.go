@@ -119,6 +119,13 @@ func (c *Costing) Clone() *Costing {
 // recordsets contribute their declared cardinality, every activity is
 // priced on the cardinalities of its providers, and C(S) sums the activity
 // costs.
+//
+// Evaluate and EvaluateIncremental are pure: they read the graph (and
+// prev) and allocate a fresh Costing. The parallel search relies on this —
+// worker goroutines cost different successor graphs concurrently, sharing
+// a parent Costing read-only. The one subtlety is the graph's memoized
+// topological order: prime it (call TopoSort once) before sharing one
+// graph across goroutines.
 func Evaluate(g *workflow.Graph, m Model) (*Costing, error) {
 	order, err := g.TopoSort()
 	if err != nil {

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"testing"
 
 	"etlopt/internal/data"
@@ -30,7 +31,7 @@ func runBinary(t *testing.T, mode Mode, lSchema, rSchema data.Schema, lRows, rRo
 		"L": data.NewMemoryRecordset("L", lSchema).MustLoad(lRows),
 		"R": data.NewMemoryRecordset("R", rSchema).MustLoad(rRows),
 	}, WithMode(mode), WithBatchSize(2))
-	res, err := e.Run(g)
+	res, err := e.Run(context.Background(), g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,11 +135,11 @@ func TestModesAgreeOnFig1(t *testing.T) {
 	sc := templates.Fig1Scenario(120, 360)
 	mat := New(sc.Bind(), WithMode(Materialized))
 	pip := New(sc.Bind(), WithMode(Pipelined), WithBatchSize(7))
-	r1, err := mat.Run(sc.Graph)
+	r1, err := mat.Run(context.Background(), sc.Graph)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := pip.Run(sc.Graph)
+	r2, err := pip.Run(context.Background(), sc.Graph)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,11 +177,11 @@ func TestDiamondPipelineNoDeadlock(t *testing.T) {
 		rows[i] = data.Record{data.NewInt(int64(i)), data.NewFloat(float64(i % 200))}
 	}
 	bind := map[string]data.Recordset{"S": data.NewMemoryRecordset("S", schema).MustLoad(rows)}
-	mat, err := New(bind, WithMode(Materialized)).Run(g)
+	mat, err := New(bind, WithMode(Materialized)).Run(context.Background(), g)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pip, err := New(bind, WithMode(Pipelined), WithBatchSize(4)).Run(g)
+	pip, err := New(bind, WithMode(Pipelined), WithBatchSize(4)).Run(context.Background(), g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +205,7 @@ func TestPipelineErrorPropagation(t *testing.T) {
 	e := New(map[string]data.Recordset{
 		"S": data.NewMemoryRecordset("S", data.Schema{"K"}).MustLoad(data.Rows{{data.NewInt(1)}}),
 	}, WithMode(Pipelined))
-	if _, err := e.Run(g); err == nil {
+	if _, err := e.Run(context.Background(), g); err == nil {
 		t.Error("missing lookup binding should error")
 	}
 }
@@ -218,7 +219,7 @@ func TestUnboundSourceError(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, mode := range []Mode{Materialized, Pipelined} {
-		if _, err := New(nil, WithMode(mode)).Run(g); err == nil {
+		if _, err := New(nil, WithMode(mode)).Run(context.Background(), g); err == nil {
 			t.Errorf("mode %v: unbound source should error", mode)
 		}
 	}
@@ -239,7 +240,7 @@ func TestTargetLoading(t *testing.T) {
 		"S": data.NewMemoryRecordset("S", schema).MustLoad(data.Rows{{data.NewInt(7)}}),
 		"T": target,
 	})
-	if _, err := e.Run(g); err != nil {
+	if _, err := e.Run(context.Background(), g); err != nil {
 		t.Fatal(err)
 	}
 	if n, _ := target.Count(); n != 1 {
@@ -249,7 +250,7 @@ func TestTargetLoading(t *testing.T) {
 
 func TestNodeRowsObservability(t *testing.T) {
 	sc := templates.Fig1Scenario(60, 120)
-	res, err := New(sc.Bind()).Run(sc.Graph)
+	res, err := New(sc.Bind()).Run(context.Background(), sc.Graph)
 	if err != nil {
 		t.Fatal(err)
 	}

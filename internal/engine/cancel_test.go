@@ -1,0 +1,63 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"etlopt/internal/templates"
+)
+
+// TestRunCancelled verifies both execution modes abort with ctx.Err()
+// when the context is cancelled before the run starts.
+func TestRunCancelled(t *testing.T) {
+	sc := templates.Fig1Scenario(80, 240)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, mode := range []struct {
+		name string
+		mode Mode
+	}{{"materialized", Materialized}, {"pipelined", Pipelined}} {
+		t.Run(mode.name, func(t *testing.T) {
+			res, err := New(sc.Bind(), WithMode(mode.mode)).Run(ctx, sc.Graph)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			if res != nil {
+				t.Error("cancelled run should not return a result")
+			}
+		})
+	}
+}
+
+// TestCheckpointRunCancelled verifies the checkpoint runner treats
+// cancellation like a crash: the error is ctx.Err(), the staging area
+// survives, and a fresh run resumes and completes.
+func TestCheckpointRunCancelled(t *testing.T) {
+	sc := templates.Fig1Scenario(50, 150)
+	dir := t.TempDir()
+	cr, err := NewCheckpointRunner(New(sc.Bind()), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := cr.Run(ctx, sc.Graph); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Resume with a live context must succeed.
+	res, err := cr.Run(context.Background(), sc.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := New(sc.Bind()).Run(context.Background(), sc.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, rows := range plain.Targets {
+		if len(res.Targets[name]) != len(rows) {
+			t.Errorf("target %s: resumed run loaded %d rows, direct run %d",
+				name, len(res.Targets[name]), len(rows))
+		}
+	}
+}

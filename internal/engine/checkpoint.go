@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -52,7 +53,13 @@ func (c *CheckpointRunner) nodePath(id workflow.NodeID) string {
 // staging area already holds results for this exact workflow (matching
 // signature), completed nodes are loaded from disk instead of recomputed —
 // the resumption path. On success the staging area is removed.
-func (c *CheckpointRunner) Run(g *workflow.Graph) (*RunResult, error) {
+//
+// A cancelled ctx aborts between nodes with ctx.Err() and leaves the
+// staging area in place: the nodes completed before the cancellation stay
+// checkpointed, so a later Run with the same workflow resumes from them —
+// cancellation behaves exactly like the crash the runner exists to
+// survive.
+func (c *CheckpointRunner) Run(ctx context.Context, g *workflow.Graph) (*RunResult, error) {
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
@@ -71,6 +78,9 @@ func (c *CheckpointRunner) Run(g *workflow.Graph) (*RunResult, error) {
 		NodeRows: make(map[workflow.NodeID]int),
 	}
 	for _, id := range order {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		n := g.Node(id)
 		// Resume path: a staged output short-circuits recomputation. Target
 		// loads are not staged (loading is the effect we must not repeat

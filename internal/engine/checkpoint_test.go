@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"path/filepath"
 	"testing"
@@ -34,12 +35,12 @@ func TestCheckpointRunCompletes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := cr.Run(sc.Graph)
+	res, err := cr.Run(context.Background(), sc.Graph)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Matches a plain run exactly.
-	plain, err := New(sc.Bind()).Run(sc.Graph)
+	plain, err := New(sc.Bind()).Run(context.Background(), sc.Graph)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestCheckpointResumeAfterFailure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cr.Run(sc.Graph); !errors.Is(err, errInjected) {
+	if _, err := cr.Run(context.Background(), sc.Graph); !errors.Is(err, errInjected) {
 		t.Fatalf("first run should fail with the injected error, got %v", err)
 	}
 	staged, err := cr.Staged()
@@ -83,11 +84,11 @@ func TestCheckpointResumeAfterFailure(t *testing.T) {
 
 	// The resume run must not re-scan PARTS1 (its stage exists) and must
 	// complete, producing exactly the plain result.
-	res, err := cr.Run(sc.Graph)
+	res, err := cr.Run(context.Background(), sc.Graph)
 	if err != nil {
 		t.Fatalf("resume failed: %v", err)
 	}
-	plain, err := New(sc.Bind()).Run(sc.Graph)
+	plain, err := New(sc.Bind()).Run(context.Background(), sc.Graph)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,11 +112,11 @@ func TestCheckpointResumeSkipsCompletedWork(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cr.Run(sc.Graph) // fails after staging PARTS1's scan
+	cr.Run(context.Background(), sc.Graph) // fails after staging PARTS1's scan
 	if scans != 1 {
 		t.Fatalf("PARTS1 scanned %d times before failure", scans)
 	}
-	if _, err := cr.Run(sc.Graph); err != nil {
+	if _, err := cr.Run(context.Background(), sc.Graph); err != nil {
 		t.Fatal(err)
 	}
 	if scans != 1 {
@@ -144,7 +145,7 @@ func TestCheckpointSignatureMismatchClearsStage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cr.Run(sc.Graph) // leaves stages behind
+	cr.Run(context.Background(), sc.Graph) // leaves stages behind
 
 	// A *different* workflow (one more activity) must not consume them.
 	g2 := sc.Graph.Clone()
@@ -162,11 +163,11 @@ func TestCheckpointSignatureMismatchClearsStage(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	res, err := cr.Run(g2)
+	res, err := cr.Run(context.Background(), g2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	plain, err := New(sc.Bind()).Run(g2)
+	plain, err := New(sc.Bind()).Run(context.Background(), g2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +201,7 @@ func TestCheckpointNullsSurviveStaging(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := cr.Run(g)
+	res, err := cr.Run(context.Background(), g)
 	if err != nil {
 		t.Fatal(err)
 	}

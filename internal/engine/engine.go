@@ -14,6 +14,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -87,8 +88,11 @@ type RunResult struct {
 }
 
 // Run executes the workflow and returns the loaded target rows. The graph
-// must be validated and have regenerated schemata.
-func (e *Engine) Run(g *workflow.Graph) (*RunResult, error) {
+// must be validated and have regenerated schemata. Cancelling ctx stops
+// the run at the next node (materialized mode) or batch (pipelined mode)
+// boundary and returns ctx.Err(); rows already loaded into bound targets
+// stay loaded.
+func (e *Engine) Run(ctx context.Context, g *workflow.Graph) (*RunResult, error) {
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
@@ -99,9 +103,9 @@ func (e *Engine) Run(g *workflow.Graph) (*RunResult, error) {
 	)
 	switch e.mode {
 	case Materialized:
-		res, err = e.runMaterialized(g)
+		res, err = e.runMaterialized(ctx, g)
 	case Pipelined:
-		res, err = e.runPipelined(g)
+		res, err = e.runPipelined(ctx, g)
 	default:
 		return nil, fmt.Errorf("engine: unknown mode %d", e.mode)
 	}
@@ -112,8 +116,9 @@ func (e *Engine) Run(g *workflow.Graph) (*RunResult, error) {
 	return res, nil
 }
 
-// runMaterialized evaluates the graph node by node in topological order.
-func (e *Engine) runMaterialized(g *workflow.Graph) (*RunResult, error) {
+// runMaterialized evaluates the graph node by node in topological order,
+// checking for cancellation between nodes.
+func (e *Engine) runMaterialized(ctx context.Context, g *workflow.Graph) (*RunResult, error) {
 	order, err := g.TopoSort()
 	if err != nil {
 		return nil, err
@@ -124,6 +129,9 @@ func (e *Engine) runMaterialized(g *workflow.Graph) (*RunResult, error) {
 		NodeRows: make(map[workflow.NodeID]int),
 	}
 	for _, id := range order {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		n := g.Node(id)
 		switch n.Kind {
 		case workflow.KindRecordset:

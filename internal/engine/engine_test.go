@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -40,7 +41,7 @@ func runChain(t *testing.T, mode Mode, schema data.Schema, rows data.Rows,
 		bindings[k] = v
 	}
 	e := New(bindings, WithMode(mode), WithBatchSize(3))
-	res, err := e.Run(g)
+	res, err := e.Run(context.Background(), g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +208,7 @@ func TestSurrogateKeyMissingKey(t *testing.T) {
 		"SRC": data.NewMemoryRecordset("SRC", data.Schema{"K"}).MustLoad(data.Rows{{data.NewInt(9)}}),
 		"LKP": lookup,
 	})
-	_, err := e.Run(g)
+	_, err := e.Run(context.Background(), g)
 	if err == nil || !strings.Contains(err.Error(), "missing from lookup") {
 		t.Errorf("missing production key should fail loudly, got %v", err)
 	}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -19,7 +20,12 @@ import (
 // joins, differences, intersections) buffer the inputs they need. Binary
 // activities always drain their inputs concurrently, which keeps diamonds
 // (one provider feeding two converging branches) deadlock-free.
-func (e *Engine) runPipelined(g *workflow.Graph) (*RunResult, error) {
+//
+// Cancellation rides the same `done` channel that propagates node
+// failures: a watcher goroutine records ctx.Err() as the run's error and
+// closes done, which unblocks every send, drain and select in the node
+// goroutines.
+func (e *Engine) runPipelined(ctx context.Context, g *workflow.Graph) (*RunResult, error) {
 	order, err := g.TopoSort()
 	if err != nil {
 		return nil, err
@@ -55,6 +61,15 @@ func (e *Engine) runPipelined(g *workflow.Graph) (*RunResult, error) {
 		nodeRows[id] += n
 		mu.Unlock()
 	}
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			fail(ctx.Err())
+		case <-stop:
+		}
+	}()
 
 	// send forwards a batch to every consumer channel, aborting on failure.
 	send := func(id workflow.NodeID, batch data.Rows) bool {

@@ -12,6 +12,7 @@
 package equiv
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -171,11 +172,11 @@ func setDiff(a, b map[string]bool) string {
 // means both ran and disagreed.
 func VerifyEmpirical(g1, g2 *workflow.Graph, bindings map[string]data.Recordset) (bool, string, error) {
 	e := engine.New(bindings)
-	r1, err := e.Run(g1)
+	r1, err := e.Run(context.Background(), g1)
 	if err != nil {
 		return false, "", fmt.Errorf("equiv: running first workflow: %w", err)
 	}
-	r2, err := e.Run(g2)
+	r2, err := e.Run(context.Background(), g2)
 	if err != nil {
 		return false, "", fmt.Errorf("equiv: running second workflow: %w", err)
 	}

@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -55,6 +56,9 @@ type SuiteConfig struct {
 	HSBudget int
 	// GroupCap bounds HS's per-local-group exploration (0 = core default).
 	GroupCap int
+	// Workers sets every algorithm's search parallelism (0 = GOMAXPROCS,
+	// 1 = sequential). Results are identical for every value.
+	Workers int
 	// Verify additionally runs every optimized workflow against the
 	// empirical equivalence oracle (slower; always on in tests).
 	Verify bool
@@ -81,7 +85,7 @@ func (c SuiteConfig) withDefaults() SuiteConfig {
 
 // RunSuite executes the full experiment and returns per-workflow results
 // grouped by category.
-func RunSuite(cfg SuiteConfig) ([]WorkflowResult, error) {
+func RunSuite(ctx context.Context, cfg SuiteConfig) ([]WorkflowResult, error) {
 	cfg = cfg.withDefaults()
 	var out []WorkflowResult
 	for _, cat := range []generator.Category{generator.Small, generator.Medium, generator.Large} {
@@ -94,7 +98,7 @@ func RunSuite(cfg SuiteConfig) ([]WorkflowResult, error) {
 			return nil, err
 		}
 		for i, sc := range scenarios {
-			res, err := runOne(cat, sc, cfg)
+			res, err := runOne(ctx, cat, sc, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: %s workflow %d: %w", cat, i, err)
 			}
@@ -112,27 +116,30 @@ func RunSuite(cfg SuiteConfig) ([]WorkflowResult, error) {
 	return out, nil
 }
 
-func runOne(cat generator.Category, sc *templates.Scenario, cfg SuiteConfig) (WorkflowResult, error) {
+func runOne(ctx context.Context, cat generator.Category, sc *templates.Scenario, cfg SuiteConfig) (WorkflowResult, error) {
 	g := sc.Graph
 	res := WorkflowResult{Category: cat, Activities: len(g.Activities())}
 
-	esRes, err := core.Exhaustive(g, core.Options{
+	esRes, err := core.Exhaustive(ctx, g, core.Options{
 		MaxStates:       cfg.ESBudget,
+		Workers:         cfg.Workers,
 		IncrementalCost: true,
 	})
 	if err != nil {
 		return res, fmt.Errorf("ES: %w", err)
 	}
-	hsRes, err := core.Heuristic(g, core.Options{
+	hsRes, err := core.Heuristic(ctx, g, core.Options{
 		MaxStates:       cfg.HSBudget,
 		GroupCap:        cfg.GroupCap,
+		Workers:         cfg.Workers,
 		IncrementalCost: true,
 	})
 	if err != nil {
 		return res, fmt.Errorf("HS: %w", err)
 	}
-	hsgRes, err := core.HSGreedy(g, core.Options{
+	hsgRes, err := core.HSGreedy(ctx, g, core.Options{
 		MaxStates:       cfg.HSBudget,
+		Workers:         cfg.Workers,
 		IncrementalCost: true,
 	})
 	if err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -11,7 +12,7 @@ import (
 // tight budgets, verification on.
 func smallSuite(t *testing.T) []WorkflowResult {
 	t.Helper()
-	results, err := RunSuite(SuiteConfig{
+	results, err := RunSuite(context.Background(), SuiteConfig{
 		Seed: 5,
 		Counts: map[generator.Category]int{
 			generator.Small:  2,
@@ -85,11 +86,11 @@ func TestSuiteDeterminism(t *testing.T) {
 		ESBudget: 1500,
 		HSBudget: 1500,
 	}
-	a, err := RunSuite(cfg)
+	a, err := RunSuite(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunSuite(cfg)
+	b, err := RunSuite(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package generator
 
 import (
+	"context"
 	"testing"
 
 	"etlopt/internal/data"
@@ -53,7 +54,7 @@ func TestGeneratedWorkflowsExecutable(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := engine.New(sc.Bind()).Run(sc.Graph)
+		res, err := engine.New(sc.Bind()).Run(context.Background(), sc.Graph)
 		if err != nil {
 			t.Fatalf("%s: execution failed: %v", cat, err)
 		}

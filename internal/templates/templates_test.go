@@ -1,6 +1,7 @@
 package templates
 
 import (
+	"context"
 	"testing"
 
 	"etlopt/internal/algebra"
@@ -109,7 +110,7 @@ func TestFig1WorkflowShape(t *testing.T) {
 
 func TestFig1ScenarioExecutes(t *testing.T) {
 	sc := Fig1Scenario(110, 330)
-	res, err := engine.New(sc.Bind()).Run(sc.Graph)
+	res, err := engine.New(sc.Bind()).Run(context.Background(), sc.Graph)
 	if err != nil {
 		t.Fatal(err)
 	}

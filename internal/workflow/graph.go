@@ -310,6 +310,13 @@ func (g *Graph) Targets() []NodeID {
 }
 
 // Clone returns a deep copy of the graph sharing no mutable state.
+//
+// Immutability discipline: the search treats every reached state's graph
+// as frozen — transitions clone before rewriting, so a state handed to
+// concurrent workers is never structurally mutated. The only write that
+// can happen to a "read-only" graph is TopoSort lazily filling topoCache;
+// callers that share one graph across goroutines must call TopoSort once
+// beforehand to prime it (see the core package's pool).
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
 		nodes:  make(map[NodeID]*Node, len(g.nodes)),

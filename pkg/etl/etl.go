@@ -1,0 +1,193 @@
+// Package etl is the public facade of the ETL workflow optimizer. It
+// bundles the pieces an embedding application needs — building or parsing
+// a workflow graph, optimizing it with the paper's state-space search
+// (ES, HS, HS-Greedy), executing it over bound recordsets, and verifying
+// that the optimized workflow is equivalent to the original — behind one
+// import path, re-exporting the internal packages' types as aliases so
+// values flow freely between the facade and any future exported
+// subpackages.
+//
+// The two entry points are context-first:
+//
+//	res, err := etl.Optimize(ctx, g, etl.Options{})
+//	run, err := etl.Run(ctx, res.Best, bindings)
+//
+// Cancelling the context aborts the optimizer at the next state-expansion
+// boundary and the engine at the next node or batch boundary, returning
+// ctx.Err().
+package etl
+
+import (
+	"context"
+	"fmt"
+
+	"etlopt/internal/core"
+	"etlopt/internal/cost"
+	"etlopt/internal/data"
+	"etlopt/internal/dsl"
+	"etlopt/internal/engine"
+	"etlopt/internal/equiv"
+	"etlopt/internal/workflow"
+)
+
+// Re-exported types. These are aliases, not copies: a *etl.Graph is a
+// *workflow.Graph, so graphs built here work with every part of the
+// system and vice versa.
+type (
+	// Graph is a workflow: a DAG of recordset and activity nodes.
+	Graph = workflow.Graph
+	// NodeID identifies a node within a Graph.
+	NodeID = workflow.NodeID
+	// RecordsetRef declares a source or target recordset in a Graph.
+	RecordsetRef = workflow.RecordsetRef
+	// Activity is one transformation step (selection, function, join, …).
+	Activity = workflow.Activity
+	// Result reports an optimization run (best graph, costs, statistics).
+	Result = core.Result
+	// RunResult reports a workflow execution (target rows, node counts).
+	RunResult = engine.RunResult
+	// Recordset is the storage abstraction workflows read and load.
+	Recordset = data.Recordset
+	// MemoryRecordset is an in-memory Recordset, convenient for tests and
+	// examples.
+	MemoryRecordset = data.MemoryRecordset
+	// Schema is an ordered attribute list.
+	Schema = data.Schema
+	// Record is one tuple; Rows is a slice of them.
+	Record = data.Record
+	// Rows is a multiset of records.
+	Rows = data.Rows
+	// Value is one typed attribute value.
+	Value = data.Value
+	// CostModel prices workflow states; the default is the paper's
+	// row-count model.
+	CostModel = cost.Model
+	// Mode selects the engine's execution strategy.
+	Mode = engine.Mode
+	// EngineOption configures Run.
+	EngineOption = engine.Option
+)
+
+// Execution modes for WithMode.
+const (
+	// Materialized evaluates nodes one at a time in topological order.
+	Materialized = engine.Materialized
+	// Pipelined streams records between concurrent node goroutines.
+	Pipelined = engine.Pipelined
+)
+
+// Null is the SQL-style null Value.
+var Null = data.Null
+
+// Value constructors.
+var (
+	// NewInt wraps an int64 as a Value.
+	NewInt = data.NewInt
+	// NewFloat wraps a float64 as a Value.
+	NewFloat = data.NewFloat
+	// NewString wraps a string as a Value.
+	NewString = data.NewString
+	// NewBool wraps a bool as a Value.
+	NewBool = data.NewBool
+)
+
+// Engine options.
+var (
+	// WithMode selects the execution mode (default Materialized).
+	WithMode = engine.WithMode
+	// WithBatchSize sets the pipelined mode's channel batch size.
+	WithBatchSize = engine.WithBatchSize
+)
+
+// NewGraph returns an empty workflow graph.
+func NewGraph() *Graph { return workflow.NewGraph() }
+
+// NewMemoryRecordset returns an empty in-memory recordset.
+func NewMemoryRecordset(name string, schema Schema) *MemoryRecordset {
+	return data.NewMemoryRecordset(name, schema)
+}
+
+// Parse builds a Graph from the line-oriented workflow DSL (see
+// internal/dsl: `recordset`, `activity` and `flow` directives).
+func Parse(src string) (*Graph, error) { return dsl.Parse(src) }
+
+// Serialize renders a Graph back into the DSL.
+func Serialize(g *Graph) (string, error) { return dsl.Serialize(g) }
+
+// Algorithm selects the optimization search.
+type Algorithm string
+
+// The three search algorithms of the paper (§4.2).
+const (
+	// ES is exhaustive search: the global optimum, exponential state
+	// space — bound it with Options.MaxStates.
+	ES Algorithm = "es"
+	// HS is the heuristic search of Fig. 7 — near-optimal at a fraction
+	// of ES's cost; the default.
+	HS Algorithm = "hs"
+	// HSGreedy replaces HS's per-group exploration with hill-climbing —
+	// fastest, may miss improvements on large workflows.
+	HSGreedy Algorithm = "hs-greedy"
+)
+
+// Options configures Optimize. The zero value asks for the heuristic
+// search with semi-incremental costing and the package defaults — the
+// configuration the paper's experiments recommend.
+type Options struct {
+	// Algorithm selects the search; empty means HS.
+	Algorithm Algorithm
+	// Model prices states; nil means the paper's row-count model.
+	Model CostModel
+	// MaxStates bounds generated states (0 = package default).
+	MaxStates int
+	// GroupCap bounds HS's per-local-group exploration (0 = default).
+	GroupCap int
+	// Workers sets the search's parallelism; 0 means GOMAXPROCS, 1 is
+	// fully sequential. Results are identical for every value.
+	Workers int
+	// MergeConstraints lists activity pairs that must move as one unit
+	// (HS pre-processing; split again afterwards).
+	MergeConstraints [][2]NodeID
+	// FullCostEval disables the semi-incremental cost evaluation and
+	// recomputes every state's cost from scratch. Results are identical;
+	// incremental is faster.
+	FullCostEval bool
+}
+
+// Optimize searches for the cheapest workflow equivalent to g and returns
+// the best state found. A cancelled ctx aborts with ctx.Err().
+func Optimize(ctx context.Context, g *Graph, opts Options) (*Result, error) {
+	copts := core.Options{
+		Model:            opts.Model,
+		MaxStates:        opts.MaxStates,
+		GroupCap:         opts.GroupCap,
+		Workers:          opts.Workers,
+		MergeConstraints: opts.MergeConstraints,
+		IncrementalCost:  !opts.FullCostEval,
+	}
+	switch opts.Algorithm {
+	case ES:
+		return core.Exhaustive(ctx, g, copts)
+	case HS, "":
+		return core.Heuristic(ctx, g, copts)
+	case HSGreedy:
+		return core.HSGreedy(ctx, g, copts)
+	default:
+		return nil, fmt.Errorf("etl: unknown algorithm %q", opts.Algorithm)
+	}
+}
+
+// Run executes the workflow against the bound recordsets: every source
+// must be bound by name; bound targets receive the loaded rows. A
+// cancelled ctx aborts with ctx.Err().
+func Run(ctx context.Context, g *Graph, bindings map[string]Recordset, opts ...EngineOption) (*RunResult, error) {
+	return engine.New(bindings, opts...).Run(ctx, g)
+}
+
+// VerifyEmpirical executes both workflows on the same bound input and
+// reports whether every target received the same record multiset — the
+// paper's empirical equivalence oracle (§2.2). The returned string
+// describes the first divergence, if any.
+func VerifyEmpirical(g1, g2 *Graph, bindings map[string]Recordset) (bool, string, error) {
+	return equiv.VerifyEmpirical(g1, g2, bindings)
+}
