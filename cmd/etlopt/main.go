@@ -6,7 +6,8 @@
 // Usage:
 //
 //	etlopt -in workflow.etl [-algo hs|greedy|es] [-maxstates N]
-//	       [-workers N] [-timeout 30s] [-out optimized.etl] [-verbose] [-lint]
+//	       [-workers N] [-timeout 30s] [-out optimized.etl] [-verbose]
+//	       [-lint] [-trace trace.json]
 //
 // An interrupt (Ctrl-C) cancels the search and exits with an error.
 package main
@@ -20,11 +21,11 @@ import (
 	"os/signal"
 	"time"
 
+	"etlopt/internal/analysis"
 	"etlopt/internal/core"
 	"etlopt/internal/cost"
 	"etlopt/internal/dsl"
 	"etlopt/internal/equiv"
-	"etlopt/internal/lint"
 	"etlopt/internal/workflow"
 )
 
@@ -44,8 +45,9 @@ func run() error {
 		timeout   = flag.Duration("timeout", 0, "wall-clock budget (0 = none)")
 		out       = flag.String("out", "", "write the optimized workflow definition here")
 		verbose   = flag.Bool("verbose", false, "print both workflow graphs")
-		lintOnly  = flag.Bool("lint", false, "run the design checks and exit")
+		lintOnly  = flag.Bool("lint", false, "run the design checks and exit (warnings exit nonzero)")
 		dot       = flag.Bool("dot", false, "print the optimized workflow in Graphviz dot syntax")
+		tracePath = flag.String("trace", "", "record the transition trace here (JSON, auditable with etlvet trace)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -69,25 +71,9 @@ func run() error {
 	}
 
 	if *lintOnly {
-		findings, err := lint.Check(g)
+		warnings, err := analysis.RunLint(os.Stdout, g, dsl.NodeNames(g))
 		if err != nil {
 			return err
-		}
-		if len(findings) == 0 {
-			fmt.Println("no findings")
-			return nil
-		}
-		names := dsl.NodeNames(g)
-		warnings := 0
-		for _, f := range findings {
-			where := ""
-			if f.Node >= 0 {
-				where = " at " + names[f.Node]
-			}
-			fmt.Printf("%s [%s]%s: %s\n", f.Severity, f.Check, where, f.Message)
-			if f.Severity == lint.Warning {
-				warnings++
-			}
 		}
 		if warnings > 0 {
 			return fmt.Errorf("%d warning(s)", warnings)
@@ -103,6 +89,7 @@ func run() error {
 		Workers:         *workers,
 		Timeout:         *timeout,
 		IncrementalCost: true,
+		Trace:           *tracePath != "",
 	}
 	var res *core.Result
 	switch *algo {
@@ -125,6 +112,25 @@ func run() error {
 		return err
 	} else if !equalOK {
 		return fmt.Errorf("internal error: optimized workflow not equivalent: %s", why)
+	}
+
+	if *tracePath != "" {
+		t, err := analysis.NewTrace(res, g, cost.RowModel{})
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		if err := t.Encode(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("transition trace written to %s (%d steps)\n", *tracePath, len(t.Steps))
 	}
 
 	if *dot {

@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"etlopt/internal/analysis"
 	"etlopt/internal/core"
 	"etlopt/internal/cost"
 	"etlopt/internal/data"
@@ -45,6 +46,7 @@ func run() error {
 		mode       = flag.String("mode", "materialized", "execution mode: materialized or pipelined")
 		checkpoint = flag.String("checkpoint", "", "staging directory for resumable execution")
 		impact     = flag.String("impact", "", "print the impact analysis of the named recordset and exit")
+		lintOnly   = flag.Bool("lint", false, "run the design checks and exit (warnings exit nonzero)")
 		explain    = flag.Bool("explain", false, "print estimated vs actual cardinalities after the run")
 		calibrate  = flag.Bool("calibrate", false, "after running, calibrate selectivities from observation and report the re-optimized plan")
 	)
@@ -64,6 +66,17 @@ func run() error {
 	g, err := dsl.Parse(string(src))
 	if err != nil {
 		return err
+	}
+
+	if *lintOnly {
+		warnings, err := analysis.RunLint(os.Stdout, g, dsl.NodeNames(g))
+		if err != nil {
+			return err
+		}
+		if warnings > 0 {
+			return fmt.Errorf("%d warning(s)", warnings)
+		}
+		return nil
 	}
 
 	if *impact != "" {

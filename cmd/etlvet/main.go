@@ -1,0 +1,127 @@
+// Command etlvet is the static-analysis front end for the ETL optimizer.
+// It runs the three pass families of internal/analysis:
+//
+//	etlvet workflow <file.etl>...   audit workflow definitions (schema
+//	                                dataflow, design checks)
+//	etlvet trace <trace.json>...    re-verify recorded optimization runs
+//	                                (guards, signatures, costs, §4
+//	                                post-conditions)
+//	etlvet src <packages>...        lint Go sources for determinism
+//	                                hazards (map iteration order,
+//	                                wall-clock, entropy, ctx placement)
+//	etlvet passes                   list every registered pass
+//
+// Exit status: 0 when clean (advice-only counts as clean), 1 when any
+// warning was found, 2 on usage or input errors.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"etlopt/internal/analysis"
+	"etlopt/internal/dsl"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  etlvet workflow <file.etl>...   audit workflow definitions
+  etlvet trace <trace.json>...    re-verify recorded optimization runs
+  etlvet src <packages>...        lint Go sources for determinism hazards
+  etlvet passes                   list registered passes`)
+}
+
+func run(args []string) int {
+	if len(args) == 0 {
+		usage()
+		return 2
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "workflow", "trace":
+		if len(rest) == 0 {
+			usage()
+			return 2
+		}
+	case "src":
+		if len(rest) == 0 {
+			rest = []string{"./..."}
+		}
+	case "passes":
+		for _, p := range analysis.AllPasses() {
+			fmt.Printf("%-8s %-22s %s\n", p.Kind(), p.Name(), p.Doc())
+		}
+		return 0
+	default:
+		usage()
+		return 2
+	}
+
+	warnings, clean := 0, true
+	for _, arg := range rest {
+		var (
+			fs  []analysis.Finding
+			err error
+		)
+		switch cmd {
+		case "workflow":
+			fs, err = auditWorkflowFile(arg)
+		case "trace":
+			fs, err = auditTraceFile(arg)
+		case "src":
+			fs, err = analysis.AnalyzeSource([]string{arg})
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "etlvet: %s: %v\n", arg, err)
+			return 2
+		}
+		for _, f := range fs {
+			fmt.Printf("%s: %s\n", arg, f.String())
+			clean = false
+		}
+		warnings += analysis.CountWarnings(fs)
+	}
+	if clean {
+		fmt.Println("no findings")
+	}
+	if warnings > 0 {
+		fmt.Fprintf(os.Stderr, "etlvet: %d warning(s)\n", warnings)
+		return 1
+	}
+	return 0
+}
+
+func auditWorkflowFile(path string) ([]analysis.Finding, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	g, err := dsl.Parse(string(src))
+	if err != nil {
+		return nil, err
+	}
+	fs, err := analysis.CheckWorkflow(g)
+	if err != nil {
+		return nil, err
+	}
+	// Render graph locations with their DSL names rather than raw IDs.
+	names := dsl.NodeNames(g)
+	for i := range fs {
+		if name, ok := names[fs[i].Node]; fs[i].Node >= 0 && ok {
+			fs[i].Node, fs[i].Where = -1, name
+		}
+	}
+	return fs, nil
+}
+
+func auditTraceFile(path string) ([]analysis.Finding, error) {
+	t, err := analysis.ReadTraceFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.AuditTrace(t)
+}

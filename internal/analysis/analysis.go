@@ -1,0 +1,286 @@
+// Package analysis is a pluggable static-analysis framework for the ETL
+// optimizer — the verification counterpart of the paper's correctness
+// story (§4): every optimization is supposed to be semantics-preserving,
+// and this package makes that checkable without executing data.
+//
+// Three families of passes share one finding model and one registry:
+//
+//   - workflow passes perform schema dataflow analysis over the provider
+//     edges of a parsed workflow (unresolved or shadowed reference names,
+//     attributes produced but never consumed, auxiliary-schema coverage
+//     gaps, underivable input schemata), absorbing the design checks that
+//     previously lived in internal/lint;
+//   - trace passes re-verify a recorded optimization run offline: every
+//     transition in a core.Result trace is replayed, its applicability
+//     guard re-run, its post-conditions (§4) re-checked and its
+//     signature/cost chain validated, certifying the run;
+//   - source passes lint the optimizer's own Go sources with go/ast and
+//     go/types, protecting the determinism invariants the parallel
+//     search depends on (no order-sensitive map iteration, no wall-clock
+//     or entropy in search paths, ctx-first exported APIs).
+//
+// Findings carry a severity, a check name, a location (graph node,
+// trace step or source position) and a suggested fix. Warnings fail CI;
+// advice does not — the exit-code semantics every CLI shares.
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"etlopt/internal/workflow"
+)
+
+// Severity grades a finding. The scale and its exit-code meaning are
+// shared by every CLI: warnings exit nonzero, advice does not.
+type Severity uint8
+
+// Severities.
+const (
+	// Warning marks likely mistakes: wrong results, run-time failures,
+	// broken invariants. CI fails on warnings.
+	Warning Severity = iota
+	// Advice marks inefficiencies or style issues the tools cannot prove
+	// harmful.
+	Advice
+)
+
+// String returns the severity's name.
+func (s Severity) String() string {
+	if s == Warning {
+		return "warning"
+	}
+	return "advice"
+}
+
+// Finding is one analysis result.
+type Finding struct {
+	Severity Severity
+	// Check names the rule, e.g. "unresolved-reference".
+	Check string
+	// Node anchors the finding to a workflow graph node; -1 when the
+	// finding is not graph-anchored (workflow-level, trace or source).
+	Node workflow.NodeID
+	// Where locates non-graph findings: a trace step ("step 3 SWA(5,6)")
+	// or a source position ("core.go:42:7"). Empty for graph findings.
+	Where   string
+	Message string
+	// Fix suggests a remedy; may be empty.
+	Fix string
+}
+
+// String renders the finding.
+func (f Finding) String() string {
+	loc := ""
+	switch {
+	case f.Node >= 0:
+		loc = fmt.Sprintf(" node %d", f.Node)
+	case f.Where != "":
+		loc = " " + f.Where
+	}
+	msg := fmt.Sprintf("%s [%s]%s: %s", f.Severity, f.Check, loc, f.Message)
+	if f.Fix != "" {
+		msg += " (fix: " + f.Fix + ")"
+	}
+	return msg
+}
+
+// StringNamed renders the finding using node names (dsl.NodeNames) in
+// place of raw node IDs.
+func (f Finding) StringNamed(names map[workflow.NodeID]string) string {
+	if f.Node >= 0 {
+		if name, ok := names[f.Node]; ok {
+			msg := fmt.Sprintf("%s [%s] %s: %s", f.Severity, f.Check, name, f.Message)
+			if f.Fix != "" {
+				msg += " (fix: " + f.Fix + ")"
+			}
+			return msg
+		}
+	}
+	return f.String()
+}
+
+// Sort orders findings deterministically: by check name, then location
+// (node, then textual location), then message. CI diffs stay stable.
+func Sort(fs []Finding) {
+	sort.SliceStable(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		if a.Where != b.Where {
+			return a.Where < b.Where
+		}
+		return a.Message < b.Message
+	})
+}
+
+// CountWarnings returns the number of warning-severity findings.
+func CountWarnings(fs []Finding) int {
+	n := 0
+	for _, f := range fs {
+		if f.Severity == Warning {
+			n++
+		}
+	}
+	return n
+}
+
+// Kind distinguishes the three pass families.
+type Kind uint8
+
+// Pass kinds.
+const (
+	KindWorkflow Kind = iota
+	KindTrace
+	KindSource
+)
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	switch k {
+	case KindWorkflow:
+		return "workflow"
+	case KindTrace:
+		return "trace"
+	default:
+		return "src"
+	}
+}
+
+// Pass is the common metadata of a registered analysis pass.
+type Pass interface {
+	Name() string
+	Doc() string
+	Kind() Kind
+}
+
+type passMeta struct {
+	name, doc string
+	kind      Kind
+}
+
+func (p passMeta) Name() string { return p.name }
+func (p passMeta) Doc() string  { return p.doc }
+func (p passMeta) Kind() Kind   { return p.kind }
+
+// workflowPass analyzes one workflow graph (schemata regenerated).
+type workflowPass struct {
+	passMeta
+	run func(g *workflow.Graph) []Finding
+}
+
+// tracePass inspects one replayed trace step, or the run summary.
+type tracePass struct {
+	passMeta
+	check func(si *StepInfo) []Finding
+}
+
+// sourcePass inspects one type-checked Go package.
+type sourcePass struct {
+	passMeta
+	check func(p *SourcePackage) []Finding
+}
+
+var registry []Pass
+
+func register(p Pass) {
+	for _, q := range registry {
+		if q.Name() == p.Name() {
+			panic("analysis: duplicate pass " + p.Name())
+		}
+	}
+	registry = append(registry, p)
+}
+
+// RegisterWorkflow adds a workflow pass to the registry. Passes run in
+// name order, so registration order never matters.
+func RegisterWorkflow(name, doc string, run func(g *workflow.Graph) []Finding) {
+	register(&workflowPass{passMeta{name, doc, KindWorkflow}, run})
+}
+
+// RegisterTrace adds a trace pass; its check runs once per replayed step
+// and once for the run summary (StepInfo.Index == -1).
+func RegisterTrace(name, doc string, check func(si *StepInfo) []Finding) {
+	register(&tracePass{passMeta{name, doc, KindTrace}, check})
+}
+
+// RegisterSource adds a source pass; its check runs once per package.
+func RegisterSource(name, doc string, check func(p *SourcePackage) []Finding) {
+	register(&sourcePass{passMeta{name, doc, KindSource}, check})
+}
+
+// Passes lists every registered pass of the given kind, sorted by name.
+func Passes(k Kind) []Pass {
+	var out []Pass
+	for _, p := range registry {
+		if p.Kind() == k {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// AllPasses lists every registered pass, grouped by kind then name.
+func AllPasses() []Pass {
+	out := append([]Pass(nil), registry...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind() != out[j].Kind() {
+			return out[i].Kind() < out[j].Kind()
+		}
+		return out[i].Name() < out[j].Name()
+	})
+	return out
+}
+
+// CheckWorkflow runs every workflow pass over the graph and returns the
+// sorted findings. The graph is cloned and its schemata regenerated
+// first, so callers may pass freshly parsed workflows; a graph whose
+// schemata cannot be derived at all yields a single schema-derivation
+// warning, since no dataflow pass can reason about it. Structural
+// invalidity (dangling edges, cycles) is an error, not a finding.
+func CheckWorkflow(g *workflow.Graph) ([]Finding, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	c := g.Clone()
+	if err := c.RegenerateSchemata(); err != nil {
+		return []Finding{{
+			Severity: Warning,
+			Check:    "schema-derivation",
+			Node:     -1,
+			Message:  fmt.Sprintf("input schemata cannot be derived from upstream outputs: %v", err),
+			Fix:      "correct the flow edges or the source schemata so every activity's input is derivable",
+		}}, nil
+	}
+	var out []Finding
+	for _, p := range Passes(KindWorkflow) {
+		out = append(out, p.(*workflowPass).run(c)...)
+	}
+	Sort(out)
+	return out, nil
+}
+
+// RunLint runs the workflow design checks on g and prints each finding
+// to w, using names (e.g. dsl.NodeNames) to label graph locations. It
+// returns the number of warnings; every CLI's -lint flag shares this
+// helper and its exit semantics: warnings exit nonzero, advice does not.
+func RunLint(w io.Writer, g *workflow.Graph, names map[workflow.NodeID]string) (int, error) {
+	fs, err := CheckWorkflow(g)
+	if err != nil {
+		return 0, err
+	}
+	if len(fs) == 0 {
+		fmt.Fprintln(w, "no findings")
+		return 0, nil
+	}
+	for _, f := range fs {
+		fmt.Fprintln(w, f.StringNamed(names))
+	}
+	return CountWarnings(fs), nil
+}

@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// fixtureFindings runs the source passes over the testdata fixture.
+func fixtureFindings(t *testing.T) []Finding {
+	t.Helper()
+	fs, err := AnalyzeSource([]string{"./testdata/src/fixture"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+// byCheck filters findings by check name.
+func byCheck(fs []Finding, check string) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if f.Check == check {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// TestFixtureMapIteration: every order-sensitive sink in the fixture is
+// flagged, and every exempted idiom is not.
+func TestFixtureMapIteration(t *testing.T) {
+	fs := byCheck(fixtureFindings(t), "map-iteration")
+	wantSubstr := []string{
+		"append to keys",      // BadAppend
+		"assignment to last",  // BadLastWriter
+		"accumulation of sum", // BadFloatSum
+		"store into out",      // BadCounterIndex
+		"return of a range",   // BadEarlyReturn
+		"b.WriteString",       // BadBuilder
+		"send on ch",          // BadSend
+	}
+	if len(fs) != len(wantSubstr) {
+		t.Errorf("want %d map-iteration findings, got %d: %v", len(wantSubstr), len(fs), fs)
+	}
+	for _, want := range wantSubstr {
+		found := false
+		for _, f := range fs {
+			if strings.Contains(f.Message, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no finding mentioning %q in %v", want, fs)
+		}
+	}
+	// The exempted idioms live between lines the violations pin; make the
+	// boundary explicit: nothing may point into a Good* function.
+	src := mustReadFixture(t)
+	for _, f := range fs {
+		if fn := enclosingFixtureFunc(src, f.Where); strings.HasPrefix(fn, "Good") {
+			t.Errorf("false positive inside %s: %s", fn, f)
+		}
+	}
+}
+
+func TestFixtureOtherPasses(t *testing.T) {
+	fs := fixtureFindings(t)
+	for check, want := range map[string]int{
+		"wall-clock": 1,
+		"randomness": 1,
+		"ctx-first":  1,
+	} {
+		if got := len(byCheck(fs, check)); got != want {
+			t.Errorf("%s: want %d finding(s), got %d: %v", check, want, got, byCheck(fs, check))
+		}
+	}
+}
+
+// TestOptimizerSourcesLintClean is the acceptance check: the determinism
+// linter runs clean over the search core and the execution engine (and,
+// since CI enforces it, the whole internal tree).
+func TestOptimizerSourcesLintClean(t *testing.T) {
+	fs, err := AnalyzeSource([]string{"../core", "../engine"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fs {
+		t.Errorf("determinism finding in optimizer sources: %s", f)
+	}
+}
+
+func TestInternalTreeLintsClean(t *testing.T) {
+	fs, err := AnalyzeSource([]string{"./../..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fs {
+		t.Errorf("determinism finding under internal/: %s", f)
+	}
+}
+
+// mustReadFixture loads the fixture source for location checks.
+func mustReadFixture(t *testing.T) []string {
+	t.Helper()
+	data, err := os.ReadFile("testdata/src/fixture/fixture.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.Split(string(data), "\n")
+}
+
+// enclosingFixtureFunc maps a finding location ("fixture.go:42:7") to the
+// name of the func declaration above that line.
+func enclosingFixtureFunc(lines []string, where string) string {
+	parts := strings.Split(where, ":")
+	if len(parts) < 2 {
+		return ""
+	}
+	line := 0
+	for _, c := range parts[1] {
+		line = line*10 + int(c-'0')
+	}
+	name := ""
+	for i := 0; i < line && i < len(lines); i++ {
+		if rest, ok := strings.CutPrefix(lines[i], "func "); ok {
+			name = rest[:strings.IndexAny(rest, "(")]
+		}
+	}
+	return name
+}

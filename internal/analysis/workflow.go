@@ -1,0 +1,493 @@
+package analysis
+
+import (
+	"fmt"
+
+	"etlopt/internal/data"
+	"etlopt/internal/workflow"
+)
+
+// The workflow pass family: schema dataflow analysis over provider edges
+// (§3.1's naming principle — one Ωn reference name, one entity — plus the
+// auxiliary-schema discipline of §3.2), together with the design checks
+// absorbed from the former internal/lint rule set.
+
+func init() {
+	RegisterWorkflow("unresolved-reference",
+		"attributes an activity references but no upstream output provides",
+		unresolvedReferences)
+	RegisterWorkflow("shadowed-reference",
+		"generated attributes that collide with an incoming reference name",
+		shadowedReferences)
+	RegisterWorkflow("dead-generation",
+		"attributes generated but never consumed by any activity or target",
+		deadGenerations)
+	RegisterWorkflow("aux-schema-gap",
+		"auxiliary schemata (Fun/Gen/PrjOut) that under-cover the activity's semantics",
+		auxSchemaGaps)
+	RegisterWorkflow("dead-attribute",
+		"source attributes nothing reads and no target stores",
+		deadAttributes)
+	RegisterWorkflow("unguarded-surrogate-key",
+		"surrogate-key lookups without an upstream not-null guard",
+		unprotectedLookups)
+	RegisterWorkflow("selectivity-range",
+		"selectivity estimates the cost model cannot price",
+		selectivityRanges)
+	RegisterWorkflow("redundant-activity",
+		"directly repeated activities with identical semantics",
+		redundantActivities)
+	RegisterWorkflow("late-projection",
+		"projections whose dropped attributes died far upstream",
+		lateProjections)
+}
+
+// availIn returns the union of the activity node's derived input
+// schemata — everything upstream outputs actually deliver.
+func availIn(n *workflow.Node) data.Schema {
+	if len(n.In) == 1 {
+		return n.In[0]
+	}
+	var all data.Schema
+	for _, in := range n.In {
+		all = all.Union(in)
+	}
+	return all
+}
+
+// semParams lists the attributes the operation's parameters reference —
+// the Ωn names the semantics inspect, excluding generated outputs.
+func semParams(a *workflow.Activity) []string {
+	switch a.Sem.Op {
+	case workflow.OpNotNull, workflow.OpPKCheck, workflow.OpProject,
+		workflow.OpJoin, workflow.OpDiff, workflow.OpIntersect:
+		return a.Sem.Attrs
+	case workflow.OpFunc:
+		return a.Sem.FnArgs
+	case workflow.OpAggregate:
+		params := append([]string(nil), a.Sem.Attrs...)
+		if a.Sem.Agg != workflow.AggCount && a.Sem.AggAttr != "" {
+			params = append(params, a.Sem.AggAttr)
+		}
+		return params
+	case workflow.OpSurrogateKey:
+		return []string{a.Sem.KeyAttr}
+	default:
+		return nil
+	}
+}
+
+// unresolvedReferences flags references to attribute names no upstream
+// output delivers — activities whose input schema cannot actually be
+// derived from their providers' outputs — plus union branches and target
+// loads whose schemata disagree.
+func unresolvedReferences(g *workflow.Graph) []Finding {
+	var out []Finding
+	for _, id := range g.Activities() {
+		n := g.Node(id)
+		a := n.Act
+		if a.Sem.Op == workflow.OpMerged {
+			continue
+		}
+		all := availIn(n)
+		seen := map[string]bool{}
+		report := func(attr, role string) {
+			if attr == "" || seen[attr] || all.Has(attr) {
+				return
+			}
+			seen[attr] = true
+			out = append(out, Finding{
+				Severity: Warning, Check: "unresolved-reference", Node: id,
+				Message: fmt.Sprintf("%s references %q, which no upstream output provides", role, attr),
+				Fix:     "correct the reference or extend the upstream outputs to deliver it",
+			})
+		}
+		for _, attr := range a.Fun {
+			report(attr, "functionality schema")
+		}
+		for _, attr := range a.RequiredIn {
+			report(attr, "declared input schema")
+		}
+		for _, attr := range semParams(a) {
+			report(attr, "operation parameter")
+		}
+		if a.Sem.Op == workflow.OpUnion && len(n.In) == 2 && !n.In[0].SameSet(n.In[1]) {
+			for _, attr := range n.In[0].Minus(n.In[1]).Union(n.In[1].Minus(n.In[0])) {
+				out = append(out, Finding{
+					Severity: Warning, Check: "unresolved-reference", Node: id,
+					Message: fmt.Sprintf("union branches disagree on %q: one branch delivers it, the other does not", attr),
+					Fix:     "align both branches' output schemata before the union",
+				})
+			}
+		}
+	}
+	for _, id := range g.Targets() {
+		n := g.Node(id)
+		if len(n.In) == 1 && !n.In[0].SameSet(n.RS.Schema) {
+			for _, attr := range n.RS.Schema.Minus(n.In[0]) {
+				out = append(out, Finding{
+					Severity: Warning, Check: "unresolved-reference", Node: id,
+					Message: fmt.Sprintf("target %s expects %q, which the loading flow does not deliver", n.RS.Name, attr),
+					Fix:     "generate or carry the attribute through the flow, or drop it from the target schema",
+				})
+			}
+			for _, attr := range n.In[0].Minus(n.RS.Schema) {
+				out = append(out, Finding{
+					Severity: Warning, Check: "unresolved-reference", Node: id,
+					Message: fmt.Sprintf("loading flow delivers %q, which target %s does not store", attr, n.RS.Name),
+					Fix:     "project the attribute out before the target, or add it to the target schema",
+				})
+			}
+		}
+	}
+	return out
+}
+
+// shadowedReferences flags generated attributes colliding with an
+// incoming attribute of the same name — under the §3.1 naming principle
+// one reference name denotes one entity, so a collision silently merges
+// two. Joins whose inputs share non-key attributes collapse the same way.
+func shadowedReferences(g *workflow.Graph) []Finding {
+	var out []Finding
+	for _, id := range g.Activities() {
+		n := g.Node(id)
+		a := n.Act
+		all := availIn(n)
+		shadow := func(attr string) {
+			out = append(out, Finding{
+				Severity: Warning, Check: "shadowed-reference", Node: id,
+				Message: fmt.Sprintf("generated attribute %q shadows an incoming attribute of the same name", attr),
+				Fix:     "rename the generated attribute; one reference name must denote one entity",
+			})
+		}
+		switch a.Sem.Op {
+		case workflow.OpFunc:
+			if !a.InPlace() && all.Has(a.Sem.OutAttr) && !data.Schema(a.Sem.FnArgs).Has(a.Sem.OutAttr) {
+				shadow(a.Sem.OutAttr)
+			}
+		case workflow.OpAggregate:
+			if all.Has(a.Sem.OutAttr) && a.Sem.OutAttr != a.Sem.AggAttr {
+				shadow(a.Sem.OutAttr)
+			}
+		case workflow.OpSurrogateKey:
+			if all.Has(a.Sem.OutAttr) {
+				shadow(a.Sem.OutAttr)
+			}
+		case workflow.OpJoin:
+			if len(n.In) == 2 {
+				keys := data.Schema(a.Sem.Attrs)
+				for _, attr := range n.In[0].Intersect(n.In[1]).Minus(keys) {
+					out = append(out, Finding{
+						Severity: Warning, Check: "shadowed-reference", Node: id,
+						Message: fmt.Sprintf("both join inputs carry non-key attribute %q; the joined output collapses two entities under one name", attr),
+						Fix:     "rename the attribute on one branch or project it out before the join",
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// deadGenerations flags attributes an activity generates that nothing
+// downstream consumes and no target stores — computed, carried, and
+// thrown away.
+func deadGenerations(g *workflow.Graph) []Finding {
+	var out []Finding
+	for _, id := range g.Activities() {
+		n := g.Node(id)
+		a := n.Act
+		if a.Sem.Op == workflow.OpMerged {
+			continue
+		}
+		all := availIn(n)
+		for _, attr := range a.Gen {
+			if all.Has(attr) {
+				continue // in-place transformation, not a fresh name
+			}
+			if consumedDownstream(g, id, attr) {
+				continue
+			}
+			out = append(out, Finding{
+				Severity: Advice, Check: "dead-generation", Node: id,
+				Message: fmt.Sprintf("attribute %q is generated but never consumed by any activity and never stored by a target", attr),
+				Fix:     "drop the generation, or store the attribute in a target",
+			})
+		}
+	}
+	return out
+}
+
+// consumedDownstream reports whether any activity reachable from id reads
+// attr (projections dropping it are disposal, not consumption) or any
+// reachable target stores it.
+func consumedDownstream(g *workflow.Graph, id workflow.NodeID, attr string) bool {
+	seen := map[workflow.NodeID]bool{id: true}
+	queue := append([]workflow.NodeID(nil), g.Consumers(id)...)
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if seen[cur] {
+			continue
+		}
+		seen[cur] = true
+		n := g.Node(cur)
+		if n.Kind == workflow.KindRecordset {
+			if n.RS.Schema.Has(attr) {
+				return true
+			}
+			queue = append(queue, g.Consumers(cur)...)
+			continue
+		}
+		a := n.Act
+		reads := a.Fun.Has(attr) || a.RequiredIn.Has(attr) || data.Schema(semParams(a)).Has(attr)
+		if reads && !(a.Sem.Op == workflow.OpProject && data.Schema(a.Sem.Attrs).Has(attr)) {
+			return true
+		}
+		if a.PrjOut.Has(attr) || (a.Sem.Op == workflow.OpProject && data.Schema(a.Sem.Attrs).Has(attr)) {
+			continue // dropped on this path
+		}
+		queue = append(queue, g.Consumers(cur)...)
+	}
+	return false
+}
+
+// auxSchemaGaps flags auxiliary schemata that under-cover the activity's
+// semantics. The swap guards (§3.3) and the homologous-activity test
+// (§3.2) reason over Fun/Gen/PrjOut, so a gap there lets the optimizer
+// prove equivalences that do not hold.
+func auxSchemaGaps(g *workflow.Graph) []Finding {
+	var out []Finding
+	for _, id := range g.Activities() {
+		n := g.Node(id)
+		a := n.Act
+		if a.Sem.Op == workflow.OpMerged {
+			continue
+		}
+		for _, attr := range semParams(a) {
+			if attr != "" && !a.Fun.Has(attr) {
+				out = append(out, Finding{
+					Severity: Warning, Check: "aux-schema-gap", Node: id,
+					Message: fmt.Sprintf("operation inspects %q but the functionality schema does not declare it; swap guards reason over Fun", attr),
+					Fix:     fmt.Sprintf("add %q to the activity's functionality schema", attr),
+				})
+			}
+		}
+		genOut := ""
+		switch a.Sem.Op {
+		case workflow.OpFunc:
+			if !a.InPlace() {
+				genOut = a.Sem.OutAttr
+			}
+		case workflow.OpAggregate:
+			if a.Sem.OutAttr != a.Sem.AggAttr {
+				genOut = a.Sem.OutAttr
+			}
+		case workflow.OpSurrogateKey:
+			genOut = a.Sem.OutAttr
+		}
+		if genOut != "" && !a.Gen.Has(genOut) {
+			out = append(out, Finding{
+				Severity: Warning, Check: "aux-schema-gap", Node: id,
+				Message: fmt.Sprintf("operation generates %q but the generated schema does not declare it", genOut),
+				Fix:     fmt.Sprintf("add %q to the activity's generated schema", genOut),
+			})
+		}
+		all := availIn(n)
+		for _, attr := range a.PrjOut {
+			if !all.Has(attr) && !a.Gen.Has(attr) {
+				out = append(out, Finding{
+					Severity: Warning, Check: "aux-schema-gap", Node: id,
+					Message: fmt.Sprintf("projected-out schema drops %q, which is neither delivered upstream nor generated here", attr),
+					Fix:     fmt.Sprintf("remove %q from the projected-out schema or correct the reference", attr),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// deadAttributes reports source attributes that no activity reads and no
+// target stores — rows carry them through the whole flow for nothing.
+func deadAttributes(g *workflow.Graph) []Finding {
+	used := map[string]bool{}
+	for _, id := range g.Activities() {
+		a := g.Node(id).Act
+		for _, attr := range a.Fun {
+			used[attr] = true
+		}
+		for _, attr := range a.RequiredIn {
+			used[attr] = true
+		}
+	}
+	for _, id := range g.Targets() {
+		for _, attr := range g.Node(id).RS.Schema {
+			used[attr] = true
+		}
+	}
+	var out []Finding
+	for _, id := range g.Sources() {
+		n := g.Node(id)
+		for _, attr := range n.RS.Schema {
+			if !used[attr] {
+				out = append(out, Finding{
+					Severity: Advice, Node: id, Check: "dead-attribute",
+					Message: fmt.Sprintf("source %s attribute %q is never read and never stored; project it out at the source",
+						n.RS.Name, attr),
+					Fix: "project the attribute out at the source, or remove it from the source schema",
+				})
+			}
+		}
+	}
+	return out
+}
+
+// unprotectedLookups reports surrogate-key activities whose production key
+// is not guarded by an upstream not-null check: a NULL key cannot resolve
+// and fails the load at run time.
+func unprotectedLookups(g *workflow.Graph) []Finding {
+	var out []Finding
+	for _, id := range g.Activities() {
+		a := g.Node(id).Act
+		if a.Sem.Op != workflow.OpSurrogateKey {
+			continue
+		}
+		if !guardedUpstream(g, id, a.Sem.KeyAttr) {
+			out = append(out, Finding{
+				Severity: Warning, Node: id, Check: "unguarded-surrogate-key",
+				Message: fmt.Sprintf("no upstream not-null check on %q; a NULL production key fails the lookup at run time",
+					a.Sem.KeyAttr),
+				Fix: fmt.Sprintf("add a not-null check on %q upstream of the surrogate-key assignment", a.Sem.KeyAttr),
+			})
+		}
+	}
+	return out
+}
+
+// guardedUpstream reports whether every path from the sources to node id
+// passes a not-null check covering attr. An activity that generates attr
+// is a guard boundary: the attribute did not exist before it, so the
+// guard question applies to the generator's own semantics.
+func guardedUpstream(g *workflow.Graph, id workflow.NodeID, attr string) bool {
+	preds := g.Providers(id)
+	if len(preds) == 0 {
+		return false // reached a source without a guard
+	}
+	for _, p := range preds {
+		n := g.Node(p)
+		if n.Kind == workflow.KindActivity {
+			a := n.Act
+			if a.Sem.Op == workflow.OpNotNull && data.Schema(a.Sem.Attrs).Has(attr) {
+				continue // this path is guarded
+			}
+			if a.Gen.Has(attr) {
+				continue // generated here; guarding is the generator's concern
+			}
+		}
+		if !guardedUpstream(g, p, attr) {
+			return false
+		}
+	}
+	return true
+}
+
+// selectivityRanges reports selectivity estimates outside what the cost
+// model can price: unary activities want (0, 1]; joins want a positive
+// match fraction well below 1.
+func selectivityRanges(g *workflow.Graph) []Finding {
+	var out []Finding
+	for _, id := range g.Activities() {
+		a := g.Node(id).Act
+		switch {
+		case a.Sem.Op == workflow.OpUnion:
+			// No selectivity.
+		case a.Sem.Op == workflow.OpJoin:
+			if a.Sel <= 0 || a.Sel > 1 {
+				out = append(out, Finding{
+					Severity: Warning, Node: id, Check: "selectivity-range",
+					Message: fmt.Sprintf("join selectivity %g outside (0,1]", a.Sel),
+					Fix:     "estimate the join match fraction as a value in (0,1]",
+				})
+			}
+		default:
+			if a.Sel <= 0 || a.Sel > 1 {
+				out = append(out, Finding{
+					Severity: Warning, Node: id, Check: "selectivity-range",
+					Message: fmt.Sprintf("selectivity %g outside (0,1]", a.Sel),
+					Fix:     "estimate the selectivity as a value in (0,1]",
+				})
+			}
+		}
+	}
+	return out
+}
+
+// redundantActivities reports directly repeated activities with identical
+// semantics — the second is a no-op for filters and checks, and a likely
+// copy-paste error for everything else.
+func redundantActivities(g *workflow.Graph) []Finding {
+	var out []Finding
+	for _, id := range g.Activities() {
+		n := g.Node(id)
+		if n.Act.IsBinary() {
+			continue
+		}
+		for _, c := range g.Consumers(id) {
+			cn := g.Node(c)
+			if cn.Kind == workflow.KindActivity && !cn.Act.IsBinary() &&
+				cn.Act.SameOperation(n.Act) {
+				out = append(out, Finding{
+					Severity: Advice, Node: c, Check: "redundant-activity",
+					Message: fmt.Sprintf("repeats its provider's operation %s", n.Act.Sem),
+					Fix:     "remove the repeated activity",
+				})
+			}
+		}
+	}
+	return out
+}
+
+// lateProjections reports projections whose dropped attributes were last
+// read far upstream: every row between the last reader and the projection
+// carried the attribute for nothing. (The optimizer can often push the
+// projection itself; this check fires even when swap conditions block it.)
+func lateProjections(g *workflow.Graph) []Finding {
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil
+	}
+	pos := map[workflow.NodeID]int{}
+	for i, id := range order {
+		pos[id] = i
+	}
+	var out []Finding
+	for _, id := range g.Activities() {
+		a := g.Node(id).Act
+		if a.Sem.Op != workflow.OpProject {
+			continue
+		}
+		for _, attr := range a.Sem.Attrs {
+			lastUse := -1
+			for _, other := range g.Activities() {
+				if other == id {
+					continue
+				}
+				oa := g.Node(other).Act
+				if oa.Fun.Has(attr) && pos[other] < pos[id] && pos[other] > lastUse {
+					lastUse = pos[other]
+				}
+			}
+			// "Far" = more than two nodes of slack between the last reader
+			// (or the source) and the projection.
+			if pos[id]-lastUse > 3 {
+				out = append(out, Finding{
+					Severity: Advice, Node: id, Check: "late-projection",
+					Message: fmt.Sprintf("attribute %q is dead long before this projection; consider dropping it earlier", attr),
+					Fix:     "move the projection upstream, next to the attribute's last reader",
+				})
+				break
+			}
+		}
+	}
+	return out
+}

@@ -73,6 +73,14 @@ type Options struct {
 	// DisablePhaseI skips HS Phase I (ablation A3; the paper argues the
 	// phase pays for itself despite Phase IV's repetition).
 	DisablePhaseI bool
+	// Trace enables structured transition tracing: every transition on
+	// the derivation path of each retained state is recorded as a
+	// TraceStep, and Result.Steps carries the full path from S0 to the
+	// best state (including the post-processing splits). The trace can be
+	// audited offline by internal/analysis without executing data. Off by
+	// default; when off, the search performs no trace bookkeeping and
+	// Result.Steps is nil.
+	Trace bool
 }
 
 // withDefaults fills unset options.
@@ -118,6 +126,11 @@ type Result struct {
 	// Trace optionally lists the transition descriptions on the path to
 	// Best (populated by ES).
 	Trace []string
+	// Steps is the structured transition trace from S0 to Best, recorded
+	// when Options.Trace is set; nil otherwise. Unlike Trace it includes
+	// the post-processing SPL transitions, so replaying Steps from S0
+	// reproduces Best exactly.
+	Steps []TraceStep
 }
 
 // Improvement returns the percentage improvement over the initial state.
@@ -131,6 +144,9 @@ type state struct {
 	costing *cost.Costing
 	sig     string
 	trace   []string
+	// steps is the structured derivation path from S0; populated only
+	// when Options.Trace is set.
+	steps []TraceStep
 }
 
 // search carries the shared bookkeeping of all three algorithms.
@@ -230,6 +246,13 @@ func (s *search) makeState(parent *state, res *transitions.Result) (*state, erro
 	if parent != nil {
 		st.trace = append(append([]string(nil), parent.trace...), res.Description)
 	}
+	if s.opts.Trace {
+		var ps []TraceStep
+		if parent != nil {
+			ps = parent.steps
+		}
+		st.steps = appendStep(ps, stepOf(res.Applied, st.sig, costing.Total, true))
+	}
 	return st, nil
 }
 
@@ -237,15 +260,34 @@ func (s *search) makeState(parent *state, res *transitions.Result) (*state, erro
 // graph is separated from traceParent by intermediate rewrites (the
 // ShiftFrw/ShiftBkw swap sequences of HS Phases II and III), so no single
 // dirty set relative to the parent exists and incremental costing would
-// copy stale values.
-func (s *search) makeStateFull(traceParent *state, g *workflow.Graph, desc string) (*state, error) {
+// copy stale values. The shift sequences (pre1 then pre2, either may be
+// nil) are recorded in the structured trace as uncosted steps — their
+// intermediate graphs are transient, so they carry no signature — while
+// res's own transition is recorded costed.
+func (s *search) makeStateFull(traceParent *state, res *transitions.Result, pre1, pre2 []transitions.Applied) (*state, error) {
+	g := res.Graph
 	costing, err := cost.Evaluate(g, s.opts.Model)
 	if err != nil {
 		return nil, err
 	}
 	st := &state{g: g, costing: costing, sig: g.Signature()}
 	if traceParent != nil {
-		st.trace = append(append([]string(nil), traceParent.trace...), desc)
+		st.trace = append(append([]string(nil), traceParent.trace...), res.Description)
+	}
+	if s.opts.Trace {
+		var ps []TraceStep
+		if traceParent != nil {
+			ps = traceParent.steps
+		}
+		steps := make([]TraceStep, len(ps), len(ps)+len(pre1)+len(pre2)+1)
+		copy(steps, ps)
+		for _, a := range pre1 {
+			steps = append(steps, stepOf(a, "", 0, false))
+		}
+		for _, a := range pre2 {
+			steps = append(steps, stepOf(a, "", 0, false))
+		}
+		st.steps = append(steps, stepOf(res.Applied, st.sig, costing.Total, true))
 	}
 	return st, nil
 }
@@ -280,9 +322,18 @@ func expansions(st *state) []*transitions.Result {
 }
 
 // finishResult splits any merged packages in the best state and assembles
-// the Result.
+// the Result. When tracing is enabled the splits are applied one at a
+// time so each SPL lands in the structured trace; otherwise the batch
+// SplitAll is used.
 func finishResult(alg string, s0, best *state, s *search, start time.Time, terminated bool) (*Result, error) {
-	final, err := transitions.SplitAll(best.g)
+	var final *workflow.Graph
+	var steps []TraceStep
+	var err error
+	if s.opts.Trace {
+		final, steps, err = splitAllTraced(best.g, best.steps)
+	} else {
+		final, err = transitions.SplitAll(best.g)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: splitting merged activities: %w", err)
 	}
@@ -299,5 +350,32 @@ func finishResult(alg string, s0, best *state, s *search, start time.Time, termi
 		Terminated:  terminated,
 		Algorithm:   alg,
 		Trace:       best.trace,
+		Steps:       steps,
 	}, nil
+}
+
+// splitAllTraced mirrors transitions.SplitAll while recording each SPL as
+// an uncosted trace step (splits never change a state's cost, only its
+// granularity).
+func splitAllTraced(g *workflow.Graph, prior []TraceStep) (*workflow.Graph, []TraceStep, error) {
+	steps := append([]TraceStep(nil), prior...)
+	cur := g
+	for {
+		var mergedID workflow.NodeID = -1
+		for _, id := range cur.Activities() {
+			if cur.Node(id).Act.Sem.Op == workflow.OpMerged {
+				mergedID = id
+				break
+			}
+		}
+		if mergedID < 0 {
+			return cur, steps, nil
+		}
+		res, err := transitions.Split(cur, mergedID)
+		if err != nil {
+			return nil, nil, err
+		}
+		cur = res.Graph
+		steps = append(steps, stepOf(res.Applied, cur.Signature(), 0, false))
+	}
 }

@@ -117,7 +117,7 @@ func heuristicSearch(ctx context.Context, alg string, g0 *workflow.Graph, opts O
 		if !s.admit(res.Graph.Signature()) {
 			continue
 		}
-		st, err := s.makeStateFull(base, res.Graph, res.Description)
+		st, err := s.makeStateFull(base, res, sh1.Applied, sh2.Applied)
 		if err != nil {
 			return nil, err
 		}
@@ -156,7 +156,7 @@ func heuristicSearch(ctx context.Context, alg string, g0 *workflow.Graph, opts O
 			if !s.admit(res.Graph.Signature()) {
 				continue
 			}
-			st, err := s.makeStateFull(si, res.Graph, res.Description)
+			st, err := s.makeStateFull(si, res, sh.Applied, nil)
 			if err != nil {
 				return nil, err
 			}
@@ -320,6 +320,10 @@ func (s *search) optimizeLocalGroupsFrom(st *state, greedy bool) *state {
 func (s *search) replaySwaps(cur *state, gs *groupState) (*state, error) {
 	g := cur.g
 	var dirty []workflow.NodeID
+	var steps []TraceStep
+	if s.opts.Trace {
+		steps = append([]TraceStep(nil), cur.steps...)
+	}
 	for _, pair := range gs.swaps {
 		res, err := transitions.Swap(g, pair[0], pair[1])
 		if err != nil {
@@ -327,6 +331,9 @@ func (s *search) replaySwaps(cur *state, gs *groupState) (*state, error) {
 		}
 		g = res.Graph
 		dirty = append(dirty, res.Dirty...)
+		if s.opts.Trace {
+			steps = append(steps, stepOf(res.Applied, g.Signature(), 0, false))
+		}
 	}
 	var costing *cost.Costing
 	var err error
@@ -338,8 +345,15 @@ func (s *search) replaySwaps(cur *state, gs *groupState) (*state, error) {
 	if err != nil {
 		return nil, err
 	}
+	if s.opts.Trace && len(steps) > len(cur.steps) {
+		// The composed state is the one the search costs; stamp the total
+		// on the last replayed swap.
+		last := &steps[len(steps)-1]
+		last.Cost = costing.Total
+		last.Costed = true
+	}
 	trace := append(append([]string(nil), cur.trace...), gs.descs...)
-	return &state{g: g, costing: costing, sig: g.Signature(), trace: trace}, nil
+	return &state{g: g, costing: costing, sig: g.Signature(), trace: trace, steps: steps}, nil
 }
 
 // adjacentPairs enumerates provider→consumer activity pairs within the

@@ -104,7 +104,8 @@ func Equivalent(g1, g2 *workflow.Graph) (bool, string, error) {
 	if len(t1) != len(t2) {
 		return false, fmt.Sprintf("different target counts: %d vs %d", len(t1), len(t2)), nil
 	}
-	for name, s1 := range t1 {
+	for _, name := range sortedKeys(t1) {
+		s1 := t1[name]
 		s2, ok := t2[name]
 		if !ok {
 			return false, fmt.Sprintf("target %s missing from second workflow", name), nil
@@ -141,6 +142,17 @@ func targetSchemas(g *workflow.Graph) (map[string]data.Schema, error) {
 		}
 	}
 	return out, nil
+}
+
+// sortedKeys returns a map's keys in sorted order, so diagnostics that
+// report the first mismatching target are deterministic.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // setDiff describes the symmetric difference of two predicate sets, or ""
@@ -183,7 +195,8 @@ func VerifyEmpirical(g1, g2 *workflow.Graph, bindings map[string]data.Recordset)
 	if len(r1.Targets) != len(r2.Targets) {
 		return false, fmt.Sprintf("different target sets: %v vs %v", r1.SortTargets(), r2.SortTargets()), nil
 	}
-	for name, rows1 := range r1.Targets {
+	for _, name := range sortedKeys(r1.Targets) {
+		rows1 := r1.Targets[name]
 		rows2, ok := r2.Targets[name]
 		if !ok {
 			return false, fmt.Sprintf("target %s missing from second run", name), nil

@@ -1,17 +1,17 @@
-// Package lint provides design-time advisory checks for ETL workflows —
-// the designer-support role the paper situates in its ARKTOS-II context
-// ([18]): beyond hard validity (workflow.Validate / CheckWellFormed),
-// these checks flag constructions that are legal but probably wrong or
-// wasteful, such as attributes carried through the whole flow only to be
-// dropped, surrogate-key lookups fed with possibly-NULL keys, or
-// selectivity estimates the cost model cannot price sensibly.
+// Package lint is a thin compatibility facade over internal/analysis,
+// which absorbed the design-time workflow checks that used to live here
+// (dead attributes, unguarded surrogate keys, selectivity ranges,
+// redundant activities, late projections) and extended them with schema
+// dataflow passes (unresolved or shadowed reference names, dead
+// generations, auxiliary-schema coverage gaps). Check runs the full
+// workflow pass suite; new code should use analysis.CheckWorkflow
+// directly, which also carries suggested fixes.
 package lint
 
 import (
 	"fmt"
-	"sort"
 
-	"etlopt/internal/data"
+	"etlopt/internal/analysis"
 	"etlopt/internal/workflow"
 )
 
@@ -22,9 +22,9 @@ type Severity uint8
 const (
 	// Warning marks likely mistakes (wrong results or failures at run
 	// time).
-	Warning Severity = iota
+	Warning Severity = Severity(analysis.Warning)
 	// Advice marks inefficiencies the optimizer cannot fix by itself.
-	Advice
+	Advice Severity = Severity(analysis.Advice)
 )
 
 // String returns the severity's name.
@@ -53,217 +53,23 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s [%s]: %s", f.Severity, f.Check, f.Message)
 }
 
-// Check runs every lint rule and returns the findings, workflow-level
-// first, then by node ID. The graph must have regenerated schemata.
+// Check runs every workflow analysis pass and returns the findings in a
+// fully deterministic order: by check name, then graph location, then
+// message. The graph must be structurally valid; schemata are
+// regenerated on a clone, so callers need not have done so.
 func Check(g *workflow.Graph) ([]Finding, error) {
-	if err := g.Validate(); err != nil {
+	fs, err := analysis.CheckWorkflow(g)
+	if err != nil {
 		return nil, err
 	}
-	var out []Finding
-	out = append(out, deadAttributes(g)...)
-	out = append(out, unprotectedLookups(g)...)
-	out = append(out, selectivityRanges(g)...)
-	out = append(out, redundantActivities(g)...)
-	out = append(out, lateProjections(g)...)
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Node != out[j].Node {
-			return out[i].Node < out[j].Node
-		}
-		return out[i].Check < out[j].Check
-	})
+	out := make([]Finding, 0, len(fs))
+	for _, f := range fs {
+		out = append(out, Finding{
+			Severity: Severity(f.Severity),
+			Node:     f.Node,
+			Check:    f.Check,
+			Message:  f.Message,
+		})
+	}
 	return out, nil
-}
-
-// deadAttributes reports source attributes that no activity reads and no
-// target stores — rows carry them through the whole flow for nothing.
-func deadAttributes(g *workflow.Graph) []Finding {
-	used := map[string]bool{}
-	for _, id := range g.Activities() {
-		a := g.Node(id).Act
-		for _, attr := range a.Fun {
-			used[attr] = true
-		}
-		for _, attr := range a.RequiredIn {
-			used[attr] = true
-		}
-	}
-	for _, id := range g.Targets() {
-		for _, attr := range g.Node(id).RS.Schema {
-			used[attr] = true
-		}
-	}
-	var out []Finding
-	for _, id := range g.Sources() {
-		n := g.Node(id)
-		for _, attr := range n.RS.Schema {
-			if !used[attr] {
-				out = append(out, Finding{
-					Severity: Advice,
-					Node:     id,
-					Check:    "dead-attribute",
-					Message: fmt.Sprintf("source %s attribute %q is never read and never stored; project it out at the source",
-						n.RS.Name, attr),
-				})
-			}
-		}
-	}
-	return out
-}
-
-// unprotectedLookups reports surrogate-key activities whose production key
-// is not guarded by an upstream not-null check: a NULL key cannot resolve
-// and fails the load at run time.
-func unprotectedLookups(g *workflow.Graph) []Finding {
-	var out []Finding
-	for _, id := range g.Activities() {
-		a := g.Node(id).Act
-		if a.Sem.Op != workflow.OpSurrogateKey {
-			continue
-		}
-		if !guardedUpstream(g, id, a.Sem.KeyAttr) {
-			out = append(out, Finding{
-				Severity: Warning,
-				Node:     id,
-				Check:    "unguarded-surrogate-key",
-				Message: fmt.Sprintf("no upstream not-null check on %q; a NULL production key fails the lookup at run time",
-					a.Sem.KeyAttr),
-			})
-		}
-	}
-	return out
-}
-
-// guardedUpstream reports whether every path from the sources to node id
-// passes a not-null check covering attr.
-func guardedUpstream(g *workflow.Graph, id workflow.NodeID, attr string) bool {
-	preds := g.Providers(id)
-	if len(preds) == 0 {
-		return false // reached a source without a guard
-	}
-	for _, p := range preds {
-		n := g.Node(p)
-		if n.Kind == workflow.KindActivity {
-			a := n.Act
-			if a.Sem.Op == workflow.OpNotNull && data.Schema(a.Sem.Attrs).Has(attr) {
-				continue // this path is guarded
-			}
-			if covered, renamed := guardsViaGeneration(a, attr); covered {
-				_ = renamed
-				continue
-			}
-		}
-		if !guardedUpstream(g, p, attr) {
-			return false
-		}
-	}
-	return true
-}
-
-// guardsViaGeneration treats an activity that *generates* attr as a guard
-// boundary: the attribute did not exist before it, so the guard question
-// applies to the generator's semantics, which are the designer's
-// responsibility (e.g. an aggregation's grouping key is never NULL-checked
-// this way).
-func guardsViaGeneration(a *workflow.Activity, attr string) (bool, bool) {
-	if a.Gen.Has(attr) {
-		return true, true
-	}
-	return false, false
-}
-
-// selectivityRanges reports selectivity estimates outside what the cost
-// model can price: unary activities want (0, 1]; joins want a positive
-// match fraction well below 1.
-func selectivityRanges(g *workflow.Graph) []Finding {
-	var out []Finding
-	for _, id := range g.Activities() {
-		a := g.Node(id).Act
-		switch {
-		case a.Sem.Op == workflow.OpUnion:
-			// No selectivity.
-		case a.Sem.Op == workflow.OpJoin:
-			if a.Sel <= 0 || a.Sel > 1 {
-				out = append(out, Finding{
-					Severity: Warning, Node: id, Check: "selectivity-range",
-					Message: fmt.Sprintf("join selectivity %g outside (0,1]", a.Sel),
-				})
-			}
-		default:
-			if a.Sel <= 0 || a.Sel > 1 {
-				out = append(out, Finding{
-					Severity: Warning, Node: id, Check: "selectivity-range",
-					Message: fmt.Sprintf("selectivity %g outside (0,1]", a.Sel),
-				})
-			}
-		}
-	}
-	return out
-}
-
-// redundantActivities reports directly repeated activities with identical
-// semantics — the second is a no-op for filters and checks, and a likely
-// copy-paste error for everything else.
-func redundantActivities(g *workflow.Graph) []Finding {
-	var out []Finding
-	for _, id := range g.Activities() {
-		n := g.Node(id)
-		if n.Act.IsBinary() {
-			continue
-		}
-		for _, c := range g.Consumers(id) {
-			cn := g.Node(c)
-			if cn.Kind == workflow.KindActivity && !cn.Act.IsBinary() &&
-				cn.Act.SameOperation(n.Act) {
-				out = append(out, Finding{
-					Severity: Advice, Node: c, Check: "redundant-activity",
-					Message: fmt.Sprintf("repeats its provider's operation %s", n.Act.Sem),
-				})
-			}
-		}
-	}
-	return out
-}
-
-// lateProjections reports projections whose dropped attributes were last
-// read far upstream: every row between the last reader and the projection
-// carried the attribute for nothing. (The optimizer can often push the
-// projection itself; this check fires even when swap conditions block it.)
-func lateProjections(g *workflow.Graph) []Finding {
-	order, err := g.TopoSort()
-	if err != nil {
-		return nil
-	}
-	pos := map[workflow.NodeID]int{}
-	for i, id := range order {
-		pos[id] = i
-	}
-	var out []Finding
-	for _, id := range g.Activities() {
-		a := g.Node(id).Act
-		if a.Sem.Op != workflow.OpProject {
-			continue
-		}
-		for _, attr := range a.Sem.Attrs {
-			lastUse := -1
-			for _, other := range g.Activities() {
-				if other == id {
-					continue
-				}
-				oa := g.Node(other).Act
-				if oa.Fun.Has(attr) && pos[other] < pos[id] && pos[other] > lastUse {
-					lastUse = pos[other]
-				}
-			}
-			// "Far" = more than two nodes of slack between the last reader
-			// (or the source) and the projection.
-			if pos[id]-lastUse > 3 {
-				out = append(out, Finding{
-					Severity: Advice, Node: id, Check: "late-projection",
-					Message: fmt.Sprintf("attribute %q is dead long before this projection; consider dropping it earlier", attr),
-				})
-				break
-			}
-		}
-	}
-	return out
 }

@@ -229,3 +229,48 @@ func TestFindingString(t *testing.T) {
 		t.Errorf("String = %q", f.String())
 	}
 }
+
+// TestCheckOrderDeterministic: Check returns findings fully ordered by
+// check name, then node, then message — and identically on every run.
+func TestCheckOrderDeterministic(t *testing.T) {
+	g := workflow.NewGraph()
+	src := g.AddRecordset(&workflow.RecordsetRef{
+		Name: "S", Schema: data.Schema{"K", "V", "B1", "B2"}, Rows: 10, IsSource: true,
+	})
+	// Several findings across several checks and nodes: two dead source
+	// attributes, a doubled filter, and an unguarded surrogate key.
+	f1 := g.AddActivity(templates.Threshold("V", 1, 0.5))
+	f2 := g.AddActivity(templates.Threshold("V", 1, 0.5))
+	sk := g.AddActivity(templates.SurrogateKey("K", "SK", "LOOK"))
+	tgt := g.AddRecordset(&workflow.RecordsetRef{Name: "T", Schema: data.Schema{"V", "SK"}, IsTarget: true})
+	g.MustAddEdge(src, f1)
+	g.MustAddEdge(f1, f2)
+	g.MustAddEdge(f2, sk)
+	g.MustAddEdge(sk, tgt)
+	if err := g.RegenerateSchemata(); err != nil {
+		t.Fatal(err)
+	}
+	first := mustCheck(t, g)
+	if len(first) < 3 {
+		t.Fatalf("expected several findings, got %v", first)
+	}
+	for i := 1; i < len(first); i++ {
+		a, b := first[i-1], first[i]
+		if a.Check > b.Check ||
+			(a.Check == b.Check && a.Node > b.Node) ||
+			(a.Check == b.Check && a.Node == b.Node && a.Message > b.Message) {
+			t.Errorf("findings out of order at %d: %v then %v", i, a, b)
+		}
+	}
+	for run := 0; run < 10; run++ {
+		again := mustCheck(t, g)
+		if len(again) != len(first) {
+			t.Fatalf("run %d: %d findings, first run had %d", run, len(again), len(first))
+		}
+		for i := range again {
+			if again[i] != first[i] {
+				t.Fatalf("run %d: finding %d = %v, first run had %v", run, i, again[i], first[i])
+			}
+		}
+	}
+}

@@ -13,8 +13,8 @@ type ShiftResult struct {
 	Graph *workflow.Graph
 	// Swaps counts the SWA transitions applied (each is a generated state).
 	Swaps int
-	// Steps describes each applied swap.
-	Steps []string
+	// Applied records each applied swap structurally, in order.
+	Applied []Applied
 }
 
 // ShiftForward implements the HS algorithm's ShiftFrw(a, ab) test (§4.2,
@@ -49,7 +49,7 @@ func ShiftForward(g *workflow.Graph, a, ab workflow.NodeID) (*ShiftResult, error
 		}
 		cur = r.Graph
 		res.Swaps++
-		res.Steps = append(res.Steps, r.Description)
+		res.Applied = append(res.Applied, r.Applied)
 		res.Graph = cur
 	}
 }
@@ -83,7 +83,7 @@ func ShiftBackward(g *workflow.Graph, a, ab workflow.NodeID) (*ShiftResult, erro
 		}
 		cur = r.Graph
 		res.Swaps++
-		res.Steps = append(res.Steps, r.Description)
+		res.Applied = append(res.Applied, r.Applied)
 		res.Graph = cur
 	}
 }

@@ -39,6 +39,29 @@ func reject(transition, format string, args ...interface{}) error {
 	return &Rejection{Transition: transition, Reason: fmt.Sprintf(format, args...)}
 }
 
+// Applied identifies an applied transition structurally: the operation
+// mnemonic and the node IDs it was invoked with, in call order. Node IDs
+// are deterministic (clones inherit the ID counter), so a recorded
+// sequence of Applied values replayed against the same initial workflow
+// reproduces the exact derivation — the basis of offline trace auditing.
+// Args is a fixed-size array so recording allocates nothing beyond the
+// Result itself.
+type Applied struct {
+	// Op is the transition mnemonic: SWA, FAC, DIS, MER or SPL.
+	Op string
+	// Args[:NArgs] are the node IDs the transition was invoked with:
+	// SWA(a1,a2), FAC(ab,a1,a2), DIS(ab,a), MER(a1,a2), SPL(a).
+	Args  [3]workflow.NodeID
+	NArgs int
+	// Desc is the paper-notation description, e.g. "SWA(5,6)".
+	Desc string
+}
+
+// ArgIDs returns the call arguments as a freshly allocated slice.
+func (a Applied) ArgIDs() []workflow.NodeID {
+	return append([]workflow.NodeID(nil), a.Args[:a.NArgs]...)
+}
+
 // Result is a successfully derived state.
 type Result struct {
 	// Graph is the derived workflow, schemata regenerated and checked.
@@ -50,6 +73,8 @@ type Result struct {
 	// Description names the transition in the paper's notation, e.g.
 	// "SWA(5,6)".
 	Description string
+	// Applied records the transition structurally for replay and audit.
+	Applied Applied
 }
 
 // finish regenerates schemata on the rewritten clone (incrementally from
@@ -57,7 +82,7 @@ type Result struct {
 // converting violations into rejections of the named transition. The
 // well-formedness check is what enforces the paper's swap conditions (3)
 // and (4) "after the swapping".
-func finish(name string, g *workflow.Graph, dirty []workflow.NodeID, desc string) (*Result, error) {
+func finish(name string, g *workflow.Graph, dirty []workflow.NodeID, applied Applied) (*Result, error) {
 	recomputed, err := g.RegenerateSchemataIncremental(dirty)
 	if err != nil {
 		return nil, reject(name, "schema regeneration failed: %v", err)
@@ -65,7 +90,45 @@ func finish(name string, g *workflow.Graph, dirty []workflow.NodeID, desc string
 	if err := g.CheckWellFormedNodes(recomputed); err != nil {
 		return nil, reject(name, "resulting state ill-formed: %v", err)
 	}
-	return &Result{Graph: g, Dirty: dirty, Description: desc}, nil
+	return &Result{Graph: g, Dirty: dirty, Description: applied.Desc, Applied: applied}, nil
+}
+
+func applied1(op string, desc string, a workflow.NodeID) Applied {
+	return Applied{Op: op, Args: [3]workflow.NodeID{a}, NArgs: 1, Desc: desc}
+}
+
+func applied2(op string, desc string, a, b workflow.NodeID) Applied {
+	return Applied{Op: op, Args: [3]workflow.NodeID{a, b}, NArgs: 2, Desc: desc}
+}
+
+func applied3(op string, desc string, a, b, c workflow.NodeID) Applied {
+	return Applied{Op: op, Args: [3]workflow.NodeID{a, b, c}, NArgs: 3, Desc: desc}
+}
+
+// Apply replays a recorded transition against g, dispatching on the
+// mnemonic. It is the audit-side inverse of recording: the same
+// applicability guards run again, so a corrupted or illegal record is
+// rejected exactly as it would have been during search.
+func Apply(g *workflow.Graph, a Applied) (*Result, error) {
+	argc := map[string]int{"SWA": 2, "FAC": 3, "DIS": 2, "MER": 2, "SPL": 1}[a.Op]
+	if argc == 0 {
+		return nil, fmt.Errorf("transitions: unknown operation %q", a.Op)
+	}
+	if a.NArgs != argc {
+		return nil, fmt.Errorf("transitions: %s expects %d node arguments, got %d", a.Op, argc, a.NArgs)
+	}
+	switch a.Op {
+	case "SWA":
+		return Swap(g, a.Args[0], a.Args[1])
+	case "FAC":
+		return Factorize(g, a.Args[0], a.Args[1], a.Args[2])
+	case "DIS":
+		return Distribute(g, a.Args[0], a.Args[1])
+	case "MER":
+		return Merge(g, a.Args[0], a.Args[1])
+	default:
+		return Split(g, a.Args[0])
+	}
 }
 
 func contains(ids []workflow.NodeID, id workflow.NodeID) bool {
@@ -129,7 +192,7 @@ func Swap(g *workflow.Graph, a1, a2 workflow.NodeID) (*Result, error) {
 	c.MustReplaceProvider(a2, a1, p)
 
 	desc := fmt.Sprintf("SWA(%s,%s)", n1.Act.Tag, n2.Act.Tag)
-	return finish(name, c, []workflow.NodeID{a1, a2}, desc)
+	return finish(name, c, []workflow.NodeID{a1, a2}, applied2(name, desc, a1, a2))
 }
 
 // combineTags merges the signature tags of factorized activities: equal
@@ -207,7 +270,7 @@ func Factorize(g *workflow.Graph, ab, a1, a2 workflow.NodeID) (*Result, error) {
 	c.RemoveNode(a2)
 
 	desc := fmt.Sprintf("FAC(%s,%s,%s)", nb.Act.Tag, n1.Act.Tag, n2.Act.Tag)
-	return finish(name, c, []workflow.NodeID{ab, na}, desc)
+	return finish(name, c, []workflow.NodeID{ab, na}, applied3(name, desc, ab, a1, a2))
 }
 
 // Distribute applies DIS(ab,a): the activity a, fed directly by the binary
@@ -258,7 +321,7 @@ func Distribute(g *workflow.Graph, ab, a workflow.NodeID) (*Result, error) {
 	c.RemoveNode(a)
 
 	desc := fmt.Sprintf("DIS(%s,%s)", nb.Act.Tag, na.Act.Tag)
-	return finish(name, c, dirty, desc)
+	return finish(name, c, dirty, applied2(name, desc, ab, a))
 }
 
 // flattenComponents returns the activity itself, or its components if it is
@@ -342,7 +405,7 @@ func Merge(g *workflow.Graph, a1, a2 workflow.NodeID) (*Result, error) {
 	c.RemoveNode(a2)
 
 	desc := fmt.Sprintf("MER(%s,%s,%s)", m.Tag, n1.Act.Tag, n2.Act.Tag)
-	return finish(name, c, []workflow.NodeID{id}, desc)
+	return finish(name, c, []workflow.NodeID{id}, applied2(name, desc, a1, a2))
 }
 
 // Split applies SPL(a1+2,a1,a2): a previously merged package is split into
@@ -380,7 +443,7 @@ func Split(g *workflow.Graph, id workflow.NodeID) (*Result, error) {
 	c.RemoveNode(id)
 
 	desc := fmt.Sprintf("SPL(%s,%s,%s)", n.Act.Tag, first.Tag, second.Tag)
-	return finish(name, c, []workflow.NodeID{id1, id2}, desc)
+	return finish(name, c, []workflow.NodeID{id1, id2}, applied1(name, desc, id))
 }
 
 // SplitAll repeatedly splits every merged activity until none remain —
