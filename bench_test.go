@@ -23,6 +23,7 @@ import (
 	"etlopt/internal/cost"
 	"etlopt/internal/engine"
 	"etlopt/internal/generator"
+	"etlopt/internal/obs"
 	"etlopt/internal/templates"
 	"etlopt/internal/transitions"
 	"etlopt/internal/workflow"
@@ -538,6 +539,60 @@ func BenchmarkTraceOverhead(b *testing.B) {
 				} else if res.Steps != nil {
 					b.Fatal("tracing off must record no steps")
 				}
+			})
+		}
+	}
+}
+
+// BenchmarkObsOverhead guards the observability overhead budget: with
+// metrics disabled (Off), ES and HS must run within noise of the
+// uninstrumented baseline — the hot paths see exactly one nil check per
+// event — which is what keeps BenchmarkParallelES/HS from regressing.
+// With metrics enabled (On), the atomic counters and gauges price the
+// full instrumentation. Results must be identical either way.
+func BenchmarkObsOverhead(b *testing.B) {
+	sc, err := generator.Generate(generator.CategoryConfig(generator.Medium, 20050405))
+	if err != nil {
+		b.Fatal(err)
+	}
+	algos := []struct {
+		name string
+		run  func(context.Context, *workflow.Graph, core.Options) (*core.Result, error)
+		max  int
+	}{
+		{"ES", core.Exhaustive, 4_000},
+		{"HS", core.Heuristic, 10_000},
+	}
+	for _, algo := range algos {
+		ref, err := algo.run(context.Background(), sc.Graph, core.Options{
+			MaxStates: algo.max, IncrementalCost: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, on := range []bool{false, true} {
+			label := algo.name + "/Off"
+			if on {
+				label = algo.name + "/On"
+			}
+			b.Run(label, func(b *testing.B) {
+				var res *core.Result
+				for i := 0; i < b.N; i++ {
+					opts := core.Options{MaxStates: algo.max, IncrementalCost: true}
+					if on {
+						opts.Metrics = obs.NewRegistry()
+					}
+					var err error
+					res, err = algo.run(context.Background(), sc.Graph, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				if res.BestCost != ref.BestCost || res.Visited != ref.Visited {
+					b.Fatalf("metrics=%v changed the result: (%v,%d) vs (%v,%d)",
+						on, res.BestCost, res.Visited, ref.BestCost, ref.Visited)
+				}
+				b.ReportMetric(float64(res.Visited), "states")
 			})
 		}
 	}

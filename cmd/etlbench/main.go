@@ -26,6 +26,7 @@ import (
 	"etlopt/internal/dsl"
 	"etlopt/internal/experiments"
 	"etlopt/internal/generator"
+	"etlopt/internal/obs"
 	"etlopt/internal/stats"
 	"etlopt/internal/templates"
 	"etlopt/internal/workflow"
@@ -50,6 +51,8 @@ func run() error {
 		ablations = flag.Bool("ablations", false, "run the DESIGN.md ablation studies and exit")
 		lintOnly  = flag.Bool("lint", false, "run the design checks over the generated suite and exit (warnings exit nonzero)")
 		quiet     = flag.Bool("quiet", false, "suppress per-workflow progress")
+		metrics   = flag.String("metrics", "", "write a JSON metrics snapshot of the whole suite here (auditable with etlvet metrics)")
+		debugAddr = flag.String("debug-addr", "", "serve a live status page, /metrics (Prometheus) and /metrics.json on this address during the run")
 	)
 	flag.Parse()
 
@@ -89,9 +92,26 @@ func run() error {
 	if !*quiet {
 		cfg.Progress = os.Stderr
 	}
+	if *metrics != "" || *debugAddr != "" {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	if *debugAddr != "" {
+		bound, stopSrv, err := obs.Serve(*debugAddr, cfg.Metrics)
+		if err != nil {
+			return err
+		}
+		defer stopSrv()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s (/, /metrics, /metrics.json)\n", bound)
+	}
 	results, err := experiments.RunSuite(context.Background(), cfg)
 	if err != nil {
 		return err
+	}
+	if *metrics != "" {
+		if err := cfg.Metrics.Snapshot().WriteJSONFile(*metrics); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "metrics snapshot written to %s\n", *metrics)
 	}
 
 	fmt.Println("Table 1: quality of solution (avg % of best-ES improvement)")

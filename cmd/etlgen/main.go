@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	etlgen -category small|medium|large -n 5 -seed 7 -dir out/
+//	etlgen -category small|medium|large -n 5 -seed 7 -dir out/ [-metrics snap.json]
 package main
 
 import (
@@ -15,6 +15,7 @@ import (
 
 	"etlopt/internal/dsl"
 	"etlopt/internal/generator"
+	"etlopt/internal/obs"
 )
 
 func main() {
@@ -30,6 +31,7 @@ func run() error {
 		n        = flag.Int("n", 1, "number of workflows to generate")
 		seed     = flag.Int64("seed", 1, "base random seed")
 		dir      = flag.String("dir", ".", "output directory")
+		metrics  = flag.String("metrics", "", "write a JSON metrics snapshot of the generation run here")
 	)
 	flag.Parse()
 
@@ -52,6 +54,10 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	var reg *obs.Registry
+	if *metrics != "" {
+		reg = obs.NewRegistry()
+	}
 	for i, sc := range scenarios {
 		text, err := dsl.Serialize(sc.Graph)
 		if err != nil {
@@ -61,8 +67,17 @@ func run() error {
 		if err := os.WriteFile(name, []byte(text), 0o644); err != nil {
 			return err
 		}
+		reg.Counter("gen_workflows_total", "category", *category).Inc()
+		reg.Counter("gen_activities_total", "category", *category).Add(int64(len(sc.Graph.Activities())))
+		reg.Counter("gen_nodes_total", "category", *category).Add(int64(sc.Graph.Len()))
 		fmt.Printf("wrote %s (%d activities, %d nodes)\n",
 			name, len(sc.Graph.Activities()), sc.Graph.Len())
+	}
+	if *metrics != "" {
+		if err := reg.Snapshot().WriteJSONFile(*metrics); err != nil {
+			return err
+		}
+		fmt.Printf("metrics snapshot written to %s\n", *metrics)
 	}
 	return nil
 }

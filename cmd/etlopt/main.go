@@ -7,7 +7,8 @@
 //
 //	etlopt -in workflow.etl [-algo hs|greedy|es] [-maxstates N]
 //	       [-workers N] [-timeout 30s] [-out optimized.etl] [-verbose]
-//	       [-lint] [-trace trace.json]
+//	       [-lint] [-trace trace.json] [-metrics snap.json]
+//	       [-debug-addr localhost:6060] [-progress 1s]
 //
 // An interrupt (Ctrl-C) cancels the search and exits with an error.
 package main
@@ -26,6 +27,7 @@ import (
 	"etlopt/internal/cost"
 	"etlopt/internal/dsl"
 	"etlopt/internal/equiv"
+	"etlopt/internal/obs"
 	"etlopt/internal/workflow"
 )
 
@@ -48,6 +50,9 @@ func run() error {
 		lintOnly  = flag.Bool("lint", false, "run the design checks and exit (warnings exit nonzero)")
 		dot       = flag.Bool("dot", false, "print the optimized workflow in Graphviz dot syntax")
 		tracePath = flag.String("trace", "", "record the transition trace here (JSON, auditable with etlvet trace)")
+		metrics   = flag.String("metrics", "", "write a JSON metrics snapshot here after the search (auditable with etlvet metrics)")
+		debugAddr = flag.String("debug-addr", "", "serve a live status page, /metrics (Prometheus) and /metrics.json on this address during the run")
+		progress  = flag.Duration("progress", 0, "print a search progress line to stderr at this interval (e.g. 1s; 0 = off)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -84,12 +89,30 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	var reg *obs.Registry
+	if *metrics != "" || *debugAddr != "" || *progress > 0 {
+		reg = obs.NewRegistry()
+	}
+	if *debugAddr != "" {
+		bound, stopSrv, err := obs.Serve(*debugAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer stopSrv()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s (/, /metrics, /metrics.json)\n", bound)
+	}
+
 	opts := core.Options{
 		MaxStates:       *maxStates,
 		Workers:         *workers,
 		Timeout:         *timeout,
 		IncrementalCost: true,
 		Trace:           *tracePath != "",
+		Metrics:         reg,
+	}
+	if *progress > 0 {
+		opts.Progress = os.Stderr
+		opts.ProgressInterval = *progress
 	}
 	var res *core.Result
 	switch *algo {
@@ -131,6 +154,13 @@ func run() error {
 			return err
 		}
 		fmt.Printf("transition trace written to %s (%d steps)\n", *tracePath, len(t.Steps))
+	}
+
+	if *metrics != "" {
+		if err := reg.Snapshot().WriteJSONFile(*metrics); err != nil {
+			return err
+		}
+		fmt.Printf("metrics snapshot written to %s\n", *metrics)
 	}
 
 	if *dot {

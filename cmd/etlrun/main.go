@@ -9,6 +9,7 @@
 //
 //	etlrun -in workflow.etl -data ./data [-optimize hs|greedy|es]
 //	       [-mode pipelined] [-checkpoint ./stage] [-impact NODE]
+//	       [-metrics snap.json] [-debug-addr localhost:6060] [-progress 1s]
 package main
 
 import (
@@ -28,6 +29,7 @@ import (
 	"etlopt/internal/data"
 	"etlopt/internal/dsl"
 	"etlopt/internal/engine"
+	"etlopt/internal/obs"
 	"etlopt/internal/workflow"
 )
 
@@ -49,6 +51,9 @@ func run() error {
 		lintOnly   = flag.Bool("lint", false, "run the design checks and exit (warnings exit nonzero)")
 		explain    = flag.Bool("explain", false, "print estimated vs actual cardinalities after the run")
 		calibrate  = flag.Bool("calibrate", false, "after running, calibrate selectivities from observation and report the re-optimized plan")
+		metrics    = flag.String("metrics", "", "write a JSON metrics snapshot here after the run (auditable with etlvet metrics)")
+		debugAddr  = flag.String("debug-addr", "", "serve a live status page, /metrics (Prometheus) and /metrics.json on this address during the run")
+		progress   = flag.Duration("progress", 0, "print an optimizer progress line to stderr at this interval (e.g. 1s; 0 = off)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -83,9 +88,26 @@ func run() error {
 		return printImpact(g, *impact)
 	}
 
+	var reg *obs.Registry
+	if *metrics != "" || *debugAddr != "" || *progress > 0 {
+		reg = obs.NewRegistry()
+	}
+	if *debugAddr != "" {
+		bound, stopSrv, err := obs.Serve(*debugAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer stopSrv()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s (/, /metrics, /metrics.json)\n", bound)
+	}
+
 	if *optimize != "" {
 		var res *core.Result
-		opts := core.Options{IncrementalCost: true, MaxStates: 30_000}
+		opts := core.Options{IncrementalCost: true, MaxStates: 30_000, Metrics: reg}
+		if *progress > 0 {
+			opts.Progress = os.Stderr
+			opts.ProgressInterval = *progress
+		}
 		switch *optimize {
 		case "es":
 			res, err = core.Exhaustive(ctx, g, opts)
@@ -118,7 +140,7 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
-	e := engine.New(bindings, engine.WithMode(engineMode))
+	e := engine.New(bindings, engine.WithMode(engineMode), engine.WithMetrics(reg))
 
 	var result *engine.RunResult
 	if *checkpoint != "" {
@@ -172,6 +194,12 @@ func run() error {
 			res.InitialCost, res.BestCost, res.Improvement())
 		fmt.Println("re-optimized plan under observed selectivities:")
 		fmt.Print(res.Best)
+	}
+	if *metrics != "" {
+		if err := reg.Snapshot().WriteJSONFile(*metrics); err != nil {
+			return err
+		}
+		fmt.Printf("metrics snapshot written to %s\n", *metrics)
 	}
 	return nil
 }

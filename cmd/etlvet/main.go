@@ -9,6 +9,10 @@
 //	etlvet src <packages>...        lint Go sources for determinism
 //	                                hazards (map iteration order,
 //	                                wall-clock, entropy, ctx placement)
+//	etlvet metrics <snap.json> [series]...
+//	                                validate a -metrics snapshot: internal
+//	                                consistency plus presence of every
+//	                                named series
 //	etlvet passes                   list every registered pass
 //
 // Exit status: 0 when clean (advice-only counts as clean), 1 when any
@@ -17,10 +21,12 @@ package main
 
 import (
 	"fmt"
+	"math"
 	"os"
 
 	"etlopt/internal/analysis"
 	"etlopt/internal/dsl"
+	"etlopt/internal/obs"
 )
 
 func main() {
@@ -32,6 +38,8 @@ func usage() {
   etlvet workflow <file.etl>...   audit workflow definitions
   etlvet trace <trace.json>...    re-verify recorded optimization runs
   etlvet src <packages>...        lint Go sources for determinism hazards
+  etlvet metrics <snap.json> [series]...
+                                  validate a -metrics snapshot and require series
   etlvet passes                   list registered passes`)
 }
 
@@ -47,6 +55,12 @@ func run(args []string) int {
 			usage()
 			return 2
 		}
+	case "metrics":
+		if len(rest) == 0 {
+			usage()
+			return 2
+		}
+		return runMetrics(rest[0], rest[1:])
 	case "src":
 		if len(rest) == 0 {
 			rest = []string{"./..."}
@@ -93,6 +107,68 @@ func run(args []string) int {
 		return 1
 	}
 	return 0
+}
+
+// runMetrics validates a -metrics JSON snapshot: it must parse, every
+// instrument must be internally consistent (non-negative counters and
+// histogram counts, bucket counts summing to the histogram count, finite
+// gauge values), and every series named on the command line must be
+// present. Same exit semantics as the pass families: 0 clean, 1 findings,
+// 2 unreadable input.
+func runMetrics(path string, required []string) int {
+	snap, err := obs.ReadSnapshotFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "etlvet: %s: %v\n", path, err)
+		return 2
+	}
+	problems := 0
+	report := func(format string, args ...interface{}) {
+		fmt.Printf("%s: warning [metrics] %s\n", path, fmt.Sprintf(format, args...))
+		problems++
+	}
+	for _, c := range snap.Counters {
+		if c.Value < 0 {
+			report("counter %s is negative (%d)", c.Series, c.Value)
+		}
+	}
+	for _, g := range snap.Gauges {
+		if math.IsNaN(g.Value) || math.IsInf(g.Value, 0) {
+			report("gauge %s is not finite (%v)", g.Series, g.Value)
+		}
+	}
+	for _, h := range snap.Histograms {
+		if h.Count < 0 {
+			report("histogram %s has negative count (%d)", h.Series, h.Count)
+			continue
+		}
+		if len(h.BucketCounts) != len(h.Bounds)+1 {
+			report("histogram %s has %d bucket counts for %d bounds (want bounds+1)",
+				h.Series, len(h.BucketCounts), len(h.Bounds))
+			continue
+		}
+		var sum int64
+		for _, n := range h.BucketCounts {
+			if n < 0 {
+				report("histogram %s has a negative bucket count (%d)", h.Series, n)
+			}
+			sum += n
+		}
+		if sum != h.Count {
+			report("histogram %s bucket counts sum to %d, count is %d", h.Series, sum, h.Count)
+		}
+	}
+	for _, series := range required {
+		if !snap.Has(series) {
+			report("required series %s is missing", series)
+		}
+	}
+	if problems == 0 {
+		fmt.Printf("no findings (%d counters, %d gauges, %d histograms, %d required series present)\n",
+			len(snap.Counters), len(snap.Gauges), len(snap.Histograms), len(required))
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "etlvet: %d warning(s)\n", problems)
+	return 1
 }
 
 func auditWorkflowFile(path string) ([]analysis.Finding, error) {

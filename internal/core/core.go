@@ -19,10 +19,12 @@ package core
 import (
 	"context"
 	"fmt"
+	"io"
 	"runtime"
 	"time"
 
 	"etlopt/internal/cost"
+	"etlopt/internal/obs"
 	"etlopt/internal/transitions"
 	"etlopt/internal/workflow"
 )
@@ -73,6 +75,22 @@ type Options struct {
 	// DisablePhaseI skips HS Phase I (ablation A3; the paper argues the
 	// phase pays for itself despite Phase IV's repetition).
 	DisablePhaseI bool
+	// Metrics, when non-nil, receives the search's observability series:
+	// states generated/visited/deduped, per-transition-kind attempt and
+	// accept counts, frontier size, per-worker pool utilization and the
+	// best cost as a live gauge (see internal/obs and DESIGN.md §6).
+	// Collection is write-only — instruments are never read back — so
+	// results are bit-identical with metrics on or off; nil (the default)
+	// disables collection at the cost of one nil check per event.
+	Metrics *obs.Registry
+	// Progress, when non-nil, receives a periodic one-line progress report
+	// during the search (states/sec, frontier size, current best cost,
+	// ETA against the state budget) — the -progress flag of the CLIs.
+	// Requires no Metrics registry: one is created internally if needed.
+	Progress io.Writer
+	// ProgressInterval is the period of the Progress line; 0 means one
+	// second.
+	ProgressInterval time.Duration
 	// Trace enables structured transition tracing: every transition on
 	// the derivation path of each retained state is recorded as a
 	// TraceStep, and Result.Steps carries the full path from S0 to the
@@ -96,6 +114,11 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Progress != nil && o.Metrics == nil {
+		// The progress line reads live gauges, so it needs somewhere to
+		// collect them even when the caller did not ask for metrics.
+		o.Metrics = obs.NewRegistry()
 	}
 	return o
 }
@@ -166,6 +189,11 @@ type search struct {
 	visited *visitedSet
 	count   int // generation attempts (budget)
 	unique  int // distinct states (reported)
+	// m is never nil: with Options.Metrics unset its handles are nil and
+	// every record degrades to a no-op. stopProgress, when set, flushes
+	// and stops the periodic progress line (see close).
+	m            *searchMetrics
+	stopProgress func()
 }
 
 func newSearch(ctx context.Context, opts Options) *search {
@@ -176,7 +204,9 @@ func newSearch(ctx context.Context, opts Options) *search {
 		cancel:  func() {},
 		pool:    newPool(opts.Workers),
 		visited: newVisitedSet(),
+		m:       newSearchMetrics(opts.Metrics, opts.Workers),
 	}
+	s.pool.busy = s.m.busyHook()
 	if opts.Timeout > 0 {
 		s.runCtx, s.cancel = context.WithTimeout(ctx, opts.Timeout)
 	}
@@ -207,14 +237,18 @@ func (s *search) aborted() error {
 // generated state against the budget.
 func (s *search) admit(sig string) bool {
 	s.count++
+	s.m.generated.Inc()
 	if s.opts.DisableDedup {
 		s.unique++
+		s.m.visited.Inc()
 		return true
 	}
 	if !s.visited.Add(sig) {
+		s.m.deduped.Inc()
 		return false
 	}
 	s.unique++
+	s.m.visited.Inc()
 	return true
 }
 
@@ -223,6 +257,12 @@ func (s *search) admit(sig string) bool {
 func (s *search) countShift(n int) {
 	s.count += n
 	s.unique += n
+	// Mirror the budget counters so the exported series track
+	// Result.Generated/Visited exactly; shiftSwaps separates out the
+	// transient swap states for the curious.
+	s.m.generated.Add(int64(n))
+	s.m.visited.Add(int64(n))
+	s.m.shiftSwaps.Add(int64(n))
 }
 
 // evaluate costs a state, incrementally from its parent when enabled.
@@ -311,6 +351,8 @@ func (s *search) initialState(g0 *workflow.Graph) (*state, error) {
 	if !s.opts.DisableDedup {
 		s.visited.Add(st.sig)
 	}
+	s.m.initialCost.Set(costing.Total)
+	s.m.bestCost.Set(costing.Total)
 	return st, nil
 }
 
@@ -329,6 +371,14 @@ func finishResult(alg string, s0, best *state, s *search, start time.Time, termi
 	var final *workflow.Graph
 	var steps []TraceStep
 	var err error
+	// The post-processing splits count as SPL attempts/accepts: one per
+	// merged package in the best state.
+	for _, id := range best.g.Activities() {
+		if best.g.Node(id).Act.Sem.Op == workflow.OpMerged {
+			s.m.attempt("SPL")
+			s.m.accept("SPL")
+		}
+	}
 	if s.opts.Trace {
 		final, steps, err = splitAllTraced(best.g, best.steps)
 	} else {
@@ -340,6 +390,8 @@ func finishResult(alg string, s0, best *state, s *search, start time.Time, termi
 	if err := final.RegenerateSchemata(); err != nil {
 		return nil, err
 	}
+	s.m.bestCost.Set(best.costing.Total)
+	s.m.recordPath(steps)
 	return &Result{
 		Best:        final,
 		BestCost:    best.costing.Total,

@@ -136,7 +136,10 @@ func Exhaustive(ctx context.Context, g0 *workflow.Graph, opts Options) (*Result,
 	opts = opts.withDefaults()
 	start := time.Now()
 	s := newSearch(ctx, opts)
-	defer s.cancel()
+	defer s.close()
+	span := s.m.reg.StartSpan("search/ES")
+	defer span.End()
+	s.startProgress("ES")
 
 	s0, err := s.initialState(g0)
 	if err != nil {
@@ -153,6 +156,7 @@ func Exhaustive(ctx context.Context, g0 *workflow.Graph, opts Options) (*Result,
 			break
 		}
 		cur := queue.pop()
+		s.m.frontier.Set(float64(queue.Len()))
 		exps := expansions(cur)
 		cands := s.precost(cur, exps)
 		for i, res := range exps {
@@ -160,6 +164,7 @@ func Exhaustive(ctx context.Context, g0 *workflow.Graph, opts Options) (*Result,
 				terminated = false
 				break
 			}
+			s.m.attempt(res.Applied.Op)
 			var sig string
 			if cands != nil {
 				sig = cands[i].sig
@@ -169,6 +174,7 @@ func Exhaustive(ctx context.Context, g0 *workflow.Graph, opts Options) (*Result,
 			if !s.admit(sig) {
 				continue
 			}
+			s.m.accept(res.Applied.Op)
 			var st *state
 			if cands != nil && (cands[i].st != nil || cands[i].err != nil) {
 				st, err = cands[i].st, cands[i].err
@@ -181,6 +187,7 @@ func Exhaustive(ctx context.Context, g0 *workflow.Graph, opts Options) (*Result,
 			if st.costing.Total < best.costing.Total ||
 				(st.costing.Total == best.costing.Total && st.sig < best.sig) {
 				best = st
+				s.m.bestCost.Set(best.costing.Total)
 			}
 			queue.push(st)
 		}

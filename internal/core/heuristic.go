@@ -47,7 +47,10 @@ func heuristicSearch(ctx context.Context, alg string, g0 *workflow.Graph, opts O
 	opts = opts.withDefaults()
 	start := time.Now()
 	s := newSearch(ctx, opts)
-	defer s.cancel()
+	defer s.close()
+	span := s.m.reg.StartSpan("search/" + alg)
+	defer span.End()
+	s.startProgress(alg)
 
 	s0, err := s.initialState(g0)
 	if err != nil {
@@ -55,8 +58,10 @@ func heuristicSearch(ctx context.Context, alg string, g0 *workflow.Graph, opts O
 	}
 
 	// Pre-processing (Ln 4-8): apply MER per the merge constraints.
+	pre := span.Child("preprocess")
 	cur := s0
 	for _, pair := range opts.MergeConstraints {
+		s.m.attempt("MER")
 		res, err := transitions.Merge(cur.g, pair[0], pair[1])
 		if err != nil {
 			if transitions.IsRejection(err) {
@@ -68,6 +73,7 @@ func heuristicSearch(ctx context.Context, alg string, g0 *workflow.Graph, opts O
 		if err != nil {
 			return nil, err
 		}
+		s.m.accept("MER")
 		cur = st
 	}
 	homologous := cur.g.FindHomologousPairs()
@@ -82,16 +88,22 @@ func heuristicSearch(ctx context.Context, alg string, g0 *workflow.Graph, opts O
 		distributableTags[cur.g.Node(da.Activity).Act.Tag] = true
 	}
 
+	pre.End()
 	sMin := cur
+	s.m.bestCost.Set(sMin.costing.Total)
 
 	// Phase I (Ln 9-13): swap optimization inside each local group.
 	if !opts.DisablePhaseI {
+		p1 := span.Child("phaseI")
 		sMin = s.optimizeLocalGroups(sMin, greedy)
+		s.m.bestCost.Set(sMin.costing.Total)
+		p1.End()
 	}
 
 	visited := []*state{sMin}
 
 	// Phase II (Ln 14-20): shift homologous pairs forward and factorize.
+	p2 := span.Child("phaseII")
 	for _, hp := range homologous {
 		if !s.budgetLeft() {
 			break
@@ -110,6 +122,7 @@ func heuristicSearch(ctx context.Context, alg string, g0 *workflow.Graph, opts O
 			continue
 		}
 		s.countShift(sh2.Swaps)
+		s.m.attempt("FAC")
 		res, err := transitions.Factorize(sh2.Graph, hp.Binary, hp.A, hp.B)
 		if err != nil {
 			continue
@@ -117,15 +130,18 @@ func heuristicSearch(ctx context.Context, alg string, g0 *workflow.Graph, opts O
 		if !s.admit(res.Graph.Signature()) {
 			continue
 		}
+		s.m.accept("FAC")
 		st, err := s.makeStateFull(base, res, sh1.Applied, sh2.Applied)
 		if err != nil {
 			return nil, err
 		}
 		if st.costing.Total < sMin.costing.Total {
 			sMin = st
+			s.m.bestCost.Set(sMin.costing.Total)
 		}
 		visited = append(visited, st)
 	}
+	p2.End()
 
 	// Phase III (Ln 21-28): distribute over the accumulated states. The
 	// distributable activities of the *initial* state are used — activities
@@ -133,10 +149,12 @@ func heuristicSearch(ctx context.Context, alg string, g0 *workflow.Graph, opts O
 	// list is processed as a worklist: a state produced by one distribution
 	// is itself examined for further distributions, so several selections
 	// can be pushed into the branches of the same flow.
+	p3 := span.Child("phaseIII")
 	unvisited := append([]*state(nil), visited...)
 	for len(unvisited) > 0 && s.budgetLeft() {
 		si := unvisited[0]
 		unvisited = unvisited[1:]
+		s.m.frontier.Set(float64(len(unvisited)))
 		for _, da := range si.g.FindDistributableActivities() {
 			if !s.budgetLeft() {
 				break
@@ -149,6 +167,7 @@ func heuristicSearch(ctx context.Context, alg string, g0 *workflow.Graph, opts O
 				continue
 			}
 			s.countShift(sh.Swaps)
+			s.m.attempt("DIS")
 			res, err := transitions.Distribute(sh.Graph, da.Binary, da.Activity)
 			if err != nil {
 				continue
@@ -156,6 +175,7 @@ func heuristicSearch(ctx context.Context, alg string, g0 *workflow.Graph, opts O
 			if !s.admit(res.Graph.Signature()) {
 				continue
 			}
+			s.m.accept("DIS")
 			st, err := s.makeStateFull(si, res, sh.Applied, nil)
 			if err != nil {
 				return nil, err
@@ -163,6 +183,7 @@ func heuristicSearch(ctx context.Context, alg string, g0 *workflow.Graph, opts O
 			improving := st.costing.Total < si.costing.Total
 			if st.costing.Total < sMin.costing.Total {
 				sMin = st
+				s.m.bestCost.Set(sMin.costing.Total)
 			}
 			visited = append(visited, st)
 			// Expand only improving distributions: chains that keep
@@ -181,11 +202,14 @@ func heuristicSearch(ctx context.Context, alg string, g0 *workflow.Graph, opts O
 		}
 	}
 
+	p3.End()
+
 	// Phase IV (Ln 29-35): repeat the swap optimization on every state
 	// produced so far, since factorizations and distributions changed the
 	// contents of the local groups. States are processed cheapest-first so
 	// that a bounded budget is spent where Phase IV is most likely to find
 	// the optimum.
+	p4 := span.Child("phaseIV")
 	sort.SliceStable(visited, func(i, j int) bool {
 		return visited[i].costing.Total < visited[j].costing.Total
 	})
@@ -196,8 +220,10 @@ func heuristicSearch(ctx context.Context, alg string, g0 *workflow.Graph, opts O
 		opt := s.optimizeLocalGroupsFrom(si, greedy)
 		if opt.costing.Total < sMin.costing.Total {
 			sMin = opt
+			s.m.bestCost.Set(sMin.costing.Total)
 		}
 	}
+	p4.End()
 
 	if err := s.aborted(); err != nil {
 		return nil, err
@@ -295,7 +321,9 @@ func (s *search) optimizeLocalGroupsFrom(st *state, greedy bool) *state {
 			break
 		}
 		for _, sig := range out.admits {
-			s.admit(sig)
+			if s.admit(sig) {
+				s.m.accept("SWA")
+			}
 		}
 		if out.best == nil || len(out.best.swaps) == 0 {
 			continue
@@ -394,6 +422,10 @@ func (s *search) groupFull(base *state, members map[workflow.NodeID]bool, out *g
 		cur := frontier[0]
 		frontier = frontier[1:]
 		for _, pair := range adjacentPairs(cur.st.g, members) {
+			// Group jobs may run on pool workers; the attempt counter is
+			// atomic, and the set of attempts per group is a pure function
+			// of the base state, so totals stay deterministic.
+			s.m.attempt("SWA")
 			res, err := transitions.Swap(cur.st.g, pair[0], pair[1])
 			if err != nil {
 				continue
@@ -435,6 +467,7 @@ func (s *search) groupGreedy(base *state, members map[workflow.NodeID]bool, out 
 		if s.runCtx.Err() != nil {
 			break
 		}
+		s.m.attempt("SWA")
 		res, err := transitions.Swap(cur.st.g, pair[0], pair[1])
 		if err != nil {
 			continue

@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // pool fans independent work items out over a bounded number of
@@ -18,6 +19,11 @@ import (
 // order-sensitive reduction must happen after run returns, by index.
 type pool struct {
 	workers int
+	// busy, when non-nil, receives each worker's total time inside one run
+	// call — the per-worker utilization feed of Options.Metrics. The hook
+	// must be safe for concurrent use; nil (the default) keeps run free of
+	// clock reads.
+	busy func(worker int, d time.Duration)
 }
 
 func newPool(workers int) *pool {
@@ -38,6 +44,10 @@ func (p *pool) parallel(n int) bool {
 // item costs balance across workers.
 func (p *pool) run(n int, fn func(i int)) {
 	if !p.parallel(n) {
+		if p.busy != nil {
+			start := time.Now()
+			defer func() { p.busy(0, time.Since(start)) }()
+		}
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
@@ -51,8 +61,12 @@ func (p *pool) run(n int, fn func(i int)) {
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for k := 0; k < w; k++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
+			if p.busy != nil {
+				start := time.Now()
+				defer func() { p.busy(worker, time.Since(start)) }()
+			}
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
@@ -60,7 +74,7 @@ func (p *pool) run(n int, fn func(i int)) {
 				}
 				fn(i)
 			}
-		}()
+		}(k)
 	}
 	wg.Wait()
 }

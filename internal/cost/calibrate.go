@@ -2,6 +2,7 @@ package cost
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -150,4 +151,80 @@ func WorstEstimates(estimates []Estimate, k int) []Estimate {
 		scored = scored[:k]
 	}
 	return scored
+}
+
+// SelDelta pairs one activity's modeled (design-time) selectivity with the
+// selectivity actually observed in an executed run — the per-activity
+// drift of the cost model's central parameter.
+type SelDelta struct {
+	Node     workflow.NodeID
+	Label    string
+	Modeled  float64
+	Observed float64
+}
+
+// Delta returns observed − modeled (positive: the activity passed more
+// rows than the model assumed).
+func (d SelDelta) Delta() float64 { return d.Observed - d.Modeled }
+
+// SelectivityDeltas computes, for every activity with evidence, the
+// observed selectivity of an executed run (engine.RunResult.NodeRows)
+// against the activity's declared estimate, using the same formulas as
+// Calibrate: out/in for unaries, out/(in₁·in₂) for joins, out/in₁ for
+// differences and intersections. Unions (no selectivity) and activities
+// whose inputs were empty or unrecorded are skipped. Results are in
+// topological order.
+func SelectivityDeltas(g *workflow.Graph, nodeRows map[workflow.NodeID]int) []SelDelta {
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil
+	}
+	var out []SelDelta
+	for _, id := range order {
+		n := g.Node(id)
+		if n.Kind != workflow.KindActivity || n.Act.Sem.Op == workflow.OpUnion {
+			continue
+		}
+		rows, ok := nodeRows[id]
+		if !ok {
+			continue
+		}
+		preds := g.Providers(id)
+		in := make([]float64, len(preds))
+		evidence := len(preds) > 0
+		for i, p := range preds {
+			r, ok := nodeRows[p]
+			if !ok || r == 0 {
+				evidence = false
+				break
+			}
+			in[i] = float64(r)
+		}
+		if !evidence {
+			continue
+		}
+		var observed float64
+		switch {
+		case n.Act.Sem.Op == workflow.OpJoin && len(in) > 1:
+			observed = float64(rows) / (in[0] * in[1])
+		default:
+			observed = float64(rows) / in[0]
+		}
+		out = append(out, SelDelta{Node: id, Label: n.Label(), Modeled: n.Act.Sel, Observed: observed})
+	}
+	return out
+}
+
+// MeanAbsSelDelta reduces a delta set to one drift number: the mean
+// absolute difference between observed and modeled selectivity. Zero when
+// no activity had evidence.
+func MeanAbsSelDelta(ds []SelDelta) float64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, d := range ds {
+		sum += math.Abs(d.Delta())
+	}
+	return sum / float64(len(ds))
 }

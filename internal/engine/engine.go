@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"etlopt/internal/data"
+	"etlopt/internal/obs"
 	"etlopt/internal/workflow"
 )
 
@@ -42,6 +43,9 @@ type Engine struct {
 	mode     Mode
 	bindings map[string]data.Recordset
 	batch    int
+	// metrics, when non-nil, receives the engine's observability series
+	// (see WithMetrics); nil disables collection.
+	metrics *obs.Registry
 }
 
 // Option configures an Engine.
@@ -98,14 +102,22 @@ func (e *Engine) Run(ctx context.Context, g *workflow.Graph) (*RunResult, error)
 	}
 	start := time.Now()
 	var (
-		res *RunResult
-		err error
+		res      *RunResult
+		err      error
+		modeName string
 	)
+	rm := e.newRunMetrics(g)
 	switch e.mode {
 	case Materialized:
-		res, err = e.runMaterialized(ctx, g)
+		modeName = "materialized"
+		span := e.metrics.StartSpan("engine/materialized")
+		res, err = e.runMaterialized(ctx, g, rm)
+		span.End()
 	case Pipelined:
-		res, err = e.runPipelined(ctx, g)
+		modeName = "pipelined"
+		span := e.metrics.StartSpan("engine/pipelined")
+		res, err = e.runPipelined(ctx, g, rm)
+		span.End()
 	default:
 		return nil, fmt.Errorf("engine: unknown mode %d", e.mode)
 	}
@@ -113,12 +125,13 @@ func (e *Engine) Run(ctx context.Context, g *workflow.Graph) (*RunResult, error)
 		return nil, err
 	}
 	res.Elapsed = time.Since(start)
+	e.recordRun(g, res, modeName)
 	return res, nil
 }
 
 // runMaterialized evaluates the graph node by node in topological order,
 // checking for cancellation between nodes.
-func (e *Engine) runMaterialized(ctx context.Context, g *workflow.Graph) (*RunResult, error) {
+func (e *Engine) runMaterialized(ctx context.Context, g *workflow.Graph, rm *runMetrics) (*RunResult, error) {
 	order, err := g.TopoSort()
 	if err != nil {
 		return nil, err
@@ -128,11 +141,15 @@ func (e *Engine) runMaterialized(ctx context.Context, g *workflow.Graph) (*RunRe
 		Targets:  make(map[string]data.Rows),
 		NodeRows: make(map[workflow.NodeID]int),
 	}
+	rowsSoFar := 0
 	for _, id := range order {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
 		n := g.Node(id)
+		if err := ctx.Err(); err != nil {
+			// Surface where the run stopped, not just that it stopped: the
+			// next activity that would have run and the progress made.
+			return nil, fmt.Errorf("engine: run cancelled before node %d (%s) after %d rows: %w",
+				id, n.Label(), rowsSoFar, err)
+		}
 		switch n.Kind {
 		case workflow.KindRecordset:
 			preds := g.Providers(id)
@@ -160,15 +177,30 @@ func (e *Engine) runMaterialized(ctx context.Context, g *workflow.Graph) (*RunRe
 				inputs[i] = out[p]
 				schemas[i] = g.Node(p).Out
 			}
-			rows, err := e.execActivity(n, schemas, inputs)
+			rows, err := e.execActivityTimed(id, n, schemas, inputs, rm)
 			if err != nil {
 				return nil, fmt.Errorf("engine: activity %d (%s): %w", id, n.Label(), err)
 			}
 			out[id] = rows
 		}
 		res.NodeRows[id] = len(out[id])
+		rowsSoFar += len(out[id])
+		rm.rows(id).Add(int64(len(out[id])))
 	}
 	return res, nil
+}
+
+// execActivityTimed runs one activity, observing its latency into the
+// per-node stage histogram when metrics are enabled.
+func (e *Engine) execActivityTimed(id workflow.NodeID, n *workflow.Node, schemas []data.Schema, inputs []data.Rows, rm *runMetrics) (data.Rows, error) {
+	h := rm.latency(id)
+	if h == nil {
+		return e.execActivity(n, schemas, inputs)
+	}
+	start := time.Now()
+	rows, err := e.execActivity(n, schemas, inputs)
+	h.Observe(time.Since(start).Seconds())
+	return rows, err
 }
 
 // scanSource reads a source recordset through its binding.

@@ -1,0 +1,128 @@
+package engine
+
+import (
+	"fmt"
+
+	"etlopt/internal/obs"
+	"etlopt/internal/workflow"
+)
+
+// WithMetrics attaches an observability registry to the engine: each run
+// then reports per-activity input/output row counts, stage latencies,
+// observed-vs-modeled selectivities and (in pipelined mode) backpressure
+// waits. Collection is write-only — the engine never reads an instrument
+// back — so execution results are identical with metrics on or off. A nil
+// registry leaves collection disabled (the default).
+func WithMetrics(r *obs.Registry) Option { return func(e *Engine) { e.metrics = r } }
+
+// runMetrics carries the per-node instrument handles of one run,
+// prefetched before execution so hot paths never touch the registry's
+// mutex. A nil *runMetrics (metrics disabled) makes every accessor return
+// a nil handle, which no-ops.
+type runMetrics struct {
+	rowsOut      map[workflow.NodeID]*obs.Counter   // engine_rows_out_total{node}
+	nodeSec      map[workflow.NodeID]*obs.Histogram // engine_node_seconds{node}
+	backpressure map[workflow.NodeID]*obs.Counter   // engine_backpressure_waits_total{node}
+}
+
+// nodeKey renders the per-node metric label: the node ID plus its
+// human-readable label, e.g. "7:σ(COST>=100)".
+func nodeKey(id workflow.NodeID, n *workflow.Node) string {
+	return fmt.Sprintf("%d:%s", id, n.Label())
+}
+
+// newRunMetrics prefetches handles for every node of the graph; nil when
+// the engine has no registry.
+func (e *Engine) newRunMetrics(g *workflow.Graph) *runMetrics {
+	if e.metrics == nil {
+		return nil
+	}
+	m := &runMetrics{
+		rowsOut:      make(map[workflow.NodeID]*obs.Counter),
+		nodeSec:      make(map[workflow.NodeID]*obs.Histogram),
+		backpressure: make(map[workflow.NodeID]*obs.Counter),
+	}
+	for _, id := range g.Nodes() {
+		key := nodeKey(id, g.Node(id))
+		m.rowsOut[id] = e.metrics.Counter("engine_rows_out_total", "node", key)
+		m.backpressure[id] = e.metrics.Counter("engine_backpressure_waits_total", "node", key)
+		if g.Node(id).Kind == workflow.KindActivity {
+			m.nodeSec[id] = e.metrics.Histogram("engine_node_seconds", nil, "node", key)
+		}
+	}
+	return m
+}
+
+// The accessors below are safe on a nil receiver and safe for concurrent
+// use after newRunMetrics returns (the maps are read-only from then on).
+
+func (m *runMetrics) rows(id workflow.NodeID) *obs.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.rowsOut[id]
+}
+
+func (m *runMetrics) latency(id workflow.NodeID) *obs.Histogram {
+	if m == nil {
+		return nil
+	}
+	return m.nodeSec[id]
+}
+
+func (m *runMetrics) stall(id workflow.NodeID) *obs.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.backpressure[id]
+}
+
+// recordRun exports a completed run's whole-run series: the run counter
+// and latency by mode, the per-node emitted-row counts (materialized mode
+// fills them here; pipelined mode already streamed them), and the
+// observed-vs-modeled selectivity gauges — the empirical check of the §5
+// cost model's central parameter.
+func (e *Engine) recordRun(g *workflow.Graph, res *RunResult, modeName string) {
+	if e.metrics == nil {
+		return
+	}
+	e.metrics.Counter("engine_runs_total", "mode", modeName).Inc()
+	e.metrics.Histogram("engine_run_seconds", nil, "mode", modeName).Observe(res.Elapsed.Seconds())
+	// Observed selectivity uses the cost model's own formulas (see
+	// cost.Calibrate / cost.SelectivityDeltas): out/in for unaries,
+	// out/(in₁·in₂) for joins; unions carry no selectivity, and activities
+	// with empty or unrecorded inputs offer no evidence.
+	order, err := g.TopoSort()
+	if err != nil {
+		return
+	}
+	for _, id := range order {
+		n := g.Node(id)
+		if n.Kind != workflow.KindActivity || n.Act.Sem.Op == workflow.OpUnion {
+			continue
+		}
+		rows, ok := res.NodeRows[id]
+		if !ok {
+			continue
+		}
+		preds := g.Providers(id)
+		denom := 1.0
+		evidence := len(preds) > 0
+		for i, p := range preds {
+			r, ok := res.NodeRows[p]
+			if !ok || r == 0 {
+				evidence = false
+				break
+			}
+			if i == 0 || n.Act.Sem.Op == workflow.OpJoin {
+				denom *= float64(r)
+			}
+		}
+		if !evidence {
+			continue
+		}
+		key := nodeKey(id, n)
+		e.metrics.Gauge("engine_selectivity_observed", "node", key).Set(float64(rows) / denom)
+		e.metrics.Gauge("engine_selectivity_modeled", "node", key).Set(n.Act.Sel)
+	}
+}

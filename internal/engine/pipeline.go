@@ -2,8 +2,10 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"etlopt/internal/data"
 	"etlopt/internal/workflow"
@@ -25,7 +27,7 @@ import (
 // failures: a watcher goroutine records ctx.Err() as the run's error and
 // closes done, which unblocks every send, drain and select in the node
 // goroutines.
-func (e *Engine) runPipelined(ctx context.Context, g *workflow.Graph) (*RunResult, error) {
+func (e *Engine) runPipelined(ctx context.Context, g *workflow.Graph, rm *runMetrics) (*RunResult, error) {
 	order, err := g.TopoSort()
 	if err != nil {
 		return nil, err
@@ -45,6 +47,9 @@ func (e *Engine) runPipelined(ctx context.Context, g *workflow.Graph) (*RunResul
 		firstErr error
 		targets  = make(map[string]data.Rows)
 		nodeRows = make(map[workflow.NodeID]int)
+		// lastID remembers the most recently emitting node, so a cancelled
+		// run can report where it was stopped.
+		lastID workflow.NodeID = -1
 	)
 	done := make(chan struct{})
 	var closeOnce sync.Once
@@ -59,7 +64,9 @@ func (e *Engine) runPipelined(ctx context.Context, g *workflow.Graph) (*RunResul
 	countRows := func(id workflow.NodeID, n int) {
 		mu.Lock()
 		nodeRows[id] += n
+		lastID = id
 		mu.Unlock()
+		rm.rows(id).Add(int64(n))
 	}
 	stop := make(chan struct{})
 	defer close(stop)
@@ -78,8 +85,21 @@ func (e *Engine) runPipelined(ctx context.Context, g *workflow.Graph) (*RunResul
 		}
 		countRows(id, len(batch))
 		for _, c := range g.Consumers(id) {
+			ch := chans[edge{id, c}]
+			// Backpressure probe: with metrics on, a consumer channel that
+			// cannot accept immediately counts one stall for the producer.
+			// The probe is skipped entirely when metrics are off, so the
+			// disabled path is byte-identical to the uninstrumented engine.
+			if bp := rm.stall(id); bp != nil {
+				select {
+				case ch <- batch:
+					continue
+				default:
+					bp.Inc()
+				}
+			}
 			select {
-			case chans[edge{id, c}] <- batch:
+			case ch <- batch:
 			case <-done:
 				return false
 			}
@@ -158,7 +178,7 @@ func (e *Engine) runPipelined(ctx context.Context, g *workflow.Graph) (*RunResul
 					case <-done:
 						return
 					}
-					out, err := e.execSem(n.Act, n.In, n.Out, []data.Schema{inSchema}, []data.Rows{batch})
+					out, err := e.execSemTimed(id, n, inSchema, batch, rm)
 					if err != nil {
 						fail(fmt.Errorf("engine: activity %d (%s): %w", id, n.Label(), err))
 						return
@@ -230,7 +250,7 @@ func (e *Engine) runPipelined(ctx context.Context, g *workflow.Graph) (*RunResul
 					return
 				default:
 				}
-				out, err := e.execActivity(n, schemas, inputs)
+				out, err := e.execActivityTimed(id, n, schemas, inputs, rm)
 				if err != nil {
 					fail(fmt.Errorf("engine: activity %d (%s): %w", id, n.Label(), err))
 					return
@@ -249,9 +269,35 @@ func (e *Engine) runPipelined(ctx context.Context, g *workflow.Graph) (*RunResul
 	mu.Lock()
 	defer mu.Unlock()
 	if firstErr != nil {
+		if errors.Is(firstErr, context.Canceled) || errors.Is(firstErr, context.DeadlineExceeded) {
+			// Wrap the bare context error with where the pipeline was and
+			// how far it had got, keeping errors.Is(err, ctx.Err()) intact.
+			total := 0
+			for _, n := range nodeRows {
+				total += n
+			}
+			at := "before any node emitted rows"
+			if lastID >= 0 {
+				at = fmt.Sprintf("at node %d (%s)", lastID, g.Node(lastID).Label())
+			}
+			return nil, fmt.Errorf("engine: pipelined run cancelled %s after %d rows: %w", at, total, firstErr)
+		}
 		return nil, firstErr
 	}
 	return &RunResult{Targets: targets, NodeRows: nodeRows}, nil
+}
+
+// execSemTimed runs one streamable activity's batch, observing its latency
+// into the per-node stage histogram when metrics are enabled.
+func (e *Engine) execSemTimed(id workflow.NodeID, n *workflow.Node, inSchema data.Schema, batch data.Rows, rm *runMetrics) (data.Rows, error) {
+	h := rm.latency(id)
+	if h == nil {
+		return e.execSem(n.Act, n.In, n.Out, []data.Schema{inSchema}, []data.Rows{batch})
+	}
+	start := time.Now()
+	out, err := e.execSem(n.Act, n.In, n.Out, []data.Schema{inSchema}, []data.Rows{batch})
+	h.Observe(time.Since(start).Seconds())
+	return out, err
 }
 
 // streamable reports whether an activity can process each batch

@@ -13,8 +13,11 @@ import (
 	"io"
 
 	"etlopt/internal/core"
+	"etlopt/internal/cost"
+	"etlopt/internal/engine"
 	"etlopt/internal/equiv"
 	"etlopt/internal/generator"
+	"etlopt/internal/obs"
 	"etlopt/internal/stats"
 	"etlopt/internal/templates"
 	"etlopt/internal/workflow"
@@ -36,6 +39,12 @@ type WorkflowResult struct {
 	Category    generator.Category
 	Activities  int
 	ES, HS, HSG AlgoRun
+	// SelDrift is the scenario's cost-model drift: the mean absolute
+	// difference between each activity's modeled selectivity and the
+	// selectivity observed when the workflow ran on its generated data
+	// (cost.MeanAbsSelDelta). High drift means the optimizer searched
+	// under estimates that execution contradicts.
+	SelDrift float64
 	// Verified reports whether the HS and ES optimized workflows were
 	// checked equivalent to the initial state on real data (when
 	// SuiteConfig.Verify is set).
@@ -62,6 +71,9 @@ type SuiteConfig struct {
 	// Verify additionally runs every optimized workflow against the
 	// empirical equivalence oracle (slower; always on in tests).
 	Verify bool
+	// Metrics, when non-nil, collects the observability series of every
+	// search and every execution in the suite (etlbench's -metrics flag).
+	Metrics *obs.Registry
 	// Progress, when non-nil, receives one line per workflow.
 	Progress io.Writer
 }
@@ -105,11 +117,12 @@ func RunSuite(ctx context.Context, cfg SuiteConfig) ([]WorkflowResult, error) {
 			out = append(out, res)
 			if cfg.Progress != nil {
 				fmt.Fprintf(cfg.Progress,
-					"%-6s #%02d  acts=%3d  ES %6.1f%% (%6d st, %6.1fs, term=%-5v)  HS %6.1f%% (%6d st, %6.1fs)  HSG %6.1f%% (%5d st, %5.1fs)\n",
+					"%-6s #%02d  acts=%3d  ES %6.1f%% (%6d st, %6.1fs, term=%-5v)  HS %6.1f%% (%6d st, %6.1fs)  HSG %6.1f%% (%5d st, %5.1fs)  drift=%.3f\n",
 					cat, i+1, res.Activities,
 					res.ES.Improvement, res.ES.Visited, res.ES.Seconds, res.ES.Terminated,
 					res.HS.Improvement, res.HS.Visited, res.HS.Seconds,
-					res.HSG.Improvement, res.HSG.Visited, res.HSG.Seconds)
+					res.HSG.Improvement, res.HSG.Visited, res.HSG.Seconds,
+					res.SelDrift)
 			}
 		}
 	}
@@ -124,6 +137,7 @@ func runOne(ctx context.Context, cat generator.Category, sc *templates.Scenario,
 		MaxStates:       cfg.ESBudget,
 		Workers:         cfg.Workers,
 		IncrementalCost: true,
+		Metrics:         cfg.Metrics,
 	})
 	if err != nil {
 		return res, fmt.Errorf("ES: %w", err)
@@ -133,6 +147,7 @@ func runOne(ctx context.Context, cat generator.Category, sc *templates.Scenario,
 		GroupCap:        cfg.GroupCap,
 		Workers:         cfg.Workers,
 		IncrementalCost: true,
+		Metrics:         cfg.Metrics,
 	})
 	if err != nil {
 		return res, fmt.Errorf("HS: %w", err)
@@ -141,10 +156,21 @@ func runOne(ctx context.Context, cat generator.Category, sc *templates.Scenario,
 		MaxStates:       cfg.HSBudget,
 		Workers:         cfg.Workers,
 		IncrementalCost: true,
+		Metrics:         cfg.Metrics,
 	})
 	if err != nil {
 		return res, fmt.Errorf("HS-Greedy: %w", err)
 	}
+
+	// Execute the initial workflow on its generated data and compare each
+	// activity's observed selectivity against the modeled value the search
+	// just optimized under: Table 2's "sel drift" column. The run also
+	// feeds the engine's observability series when cfg.Metrics is set.
+	runRes, err := engine.New(sc.Bind(), engine.WithMetrics(cfg.Metrics)).Run(ctx, g)
+	if err != nil {
+		return res, fmt.Errorf("executing initial workflow: %w", err)
+	}
+	res.SelDrift = cost.MeanAbsSelDelta(cost.SelectivityDeltas(g, runRes.NodeRows))
 
 	// Quality of solution (Table 1): improvement relative to the best the
 	// (possibly stopped) ES achieved — "the values are compared to the
@@ -248,13 +274,15 @@ func Table2(results []WorkflowResult) string {
 	t := stats.NewTable("category", "acts (avg)",
 		"ES states", "ES impr %", "ES time s",
 		"HS states", "HS impr %", "HS time s",
-		"HSG states", "HSG impr %", "HSG time s")
+		"HSG states", "HSG impr %", "HSG time s",
+		"sel drift").
+		AlignRight(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11)
 	for _, cat := range []generator.Category{generator.Small, generator.Medium, generator.Large} {
 		rs := rows[cat]
 		if len(rs) == 0 {
 			continue
 		}
-		var acts, esS, esI, esT, hsS, hsI, hsT, hgS, hgI, hgT []float64
+		var acts, esS, esI, esT, hsS, hsI, hsT, hgS, hgI, hgT, drift []float64
 		star := ""
 		for _, r := range rs {
 			acts = append(acts, float64(r.Activities))
@@ -267,6 +295,7 @@ func Table2(results []WorkflowResult) string {
 			hgS = append(hgS, float64(r.HSG.Visited))
 			hgI = append(hgI, r.HSG.Improvement)
 			hgT = append(hgT, r.HSG.Seconds)
+			drift = append(drift, r.SelDrift)
 			if !r.ES.Terminated {
 				star = "*"
 			}
@@ -280,10 +309,12 @@ func Table2(results []WorkflowResult) string {
 			fmt.Sprintf("%.2f", mean(hsT)),
 			fmt.Sprintf("%.0f", mean(hgS)),
 			fmt.Sprintf("%.0f", mean(hgI)),
-			fmt.Sprintf("%.2f", mean(hgT)))
+			fmt.Sprintf("%.2f", mean(hgT)),
+			fmt.Sprintf("%.3f", mean(drift)))
 	}
 	return t.String() +
-		"* ES budget expired before the space closed; values reflect ES's status when it stopped\n"
+		"* ES budget expired before the space closed; values reflect ES's status when it stopped\n" +
+		"sel drift: mean |observed - modeled| selectivity when the initial workflow ran on its generated data\n"
 }
 
 // Claims renders the §4.2 prose claims with the measured values:

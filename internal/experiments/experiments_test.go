@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"etlopt/internal/generator"
+	"etlopt/internal/obs"
 )
 
 // smallSuite runs a reduced suite quickly: one workflow per category with
@@ -54,6 +55,11 @@ func TestRunSuiteShape(t *testing.T) {
 		if r.HS.BestCost > r.HSG.BestCost {
 			t.Errorf("%s: HS cost %v worse than greedy %v", r.Category, r.HS.BestCost, r.HSG.BestCost)
 		}
+		// Every scenario executed its initial workflow, so drift is a
+		// well-defined mean of |observed - modeled| selectivities.
+		if r.SelDrift < 0 || r.SelDrift > 1.5 {
+			t.Errorf("%s: implausible selectivity drift %v", r.Category, r.SelDrift)
+		}
 	}
 }
 
@@ -66,7 +72,7 @@ func TestTableRendering(t *testing.T) {
 		}
 	}
 	t2 := Table2(results)
-	for _, want := range []string{"ES states", "HS impr %", "HSG time s", "small"} {
+	for _, want := range []string{"ES states", "HS impr %", "HSG time s", "sel drift", "small"} {
 		if !strings.Contains(t2, want) {
 			t.Errorf("Table 2 missing %q:\n%s", want, t2)
 		}
@@ -98,5 +104,39 @@ func TestSuiteDeterminism(t *testing.T) {
 		a[0].HS.BestCost != b[0].HS.BestCost ||
 		a[0].HSG.BestCost != b[0].HSG.BestCost {
 		t.Error("suite runs with the same seed diverge")
+	}
+}
+
+// TestSuiteMetrics checks that a registry attached to the suite collects
+// both the optimizer's and the executor's series, and that attaching it
+// does not change any result.
+func TestSuiteMetrics(t *testing.T) {
+	cfg := SuiteConfig{
+		Seed:     9,
+		Counts:   map[generator.Category]int{generator.Small: 1},
+		ESBudget: 1500,
+		HSBudget: 1500,
+	}
+	plain, err := RunSuite(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	cfg.Metrics = reg
+	instr, err := RunSuite(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain[0].ES.BestCost != instr[0].ES.BestCost ||
+		plain[0].HS.Visited != instr[0].HS.Visited ||
+		plain[0].SelDrift != instr[0].SelDrift {
+		t.Error("attaching metrics changed suite results")
+	}
+	snap := reg.Snapshot()
+	if v, ok := snap.CounterValue("search_states_visited_total"); !ok || v == 0 {
+		t.Errorf("search_states_visited_total = %d, %v; want > 0", v, ok)
+	}
+	if v, ok := snap.CounterValue(`engine_runs_total{mode="materialized"}`); !ok || v != 1 {
+		t.Errorf(`engine_runs_total{mode="materialized"} = %d, %v; want 1`, v, ok)
 	}
 }

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// spanLogCap bounds the completed-span ring buffer per registry. Old spans
+// are overwritten; live introspection wants the recent past, not history.
+const spanLogCap = 256
+
+// Span is one timed region of work, optionally nested under a parent.
+// Spans are the event half of the observability API: the search wraps
+// phases in them, the engine wraps node executions, and the status page
+// lists the most recent completions. A nil *Span ignores every call, so
+// instrumented code never branches on whether collection is on.
+//
+// A Span is not safe for concurrent mutation; create one span per
+// goroutine (children are independent once created).
+type Span struct {
+	reg    *Registry
+	name   string
+	parent string
+	depth  int
+	start  time.Time
+	attrs  []SpanAttr
+}
+
+// SpanAttr is one key/value annotation on a span.
+type SpanAttr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// SpanRecord is a completed span as kept in the registry's ring and
+// reported by snapshots. Times are relative to the registry's creation so
+// records are position-independent (no absolute wall-clock leaks into
+// exhibits).
+type SpanRecord struct {
+	// Name and Parent identify the span and its enclosing span ("" at the
+	// root); Depth is the nesting level.
+	Name   string `json:"name"`
+	Parent string `json:"parent,omitempty"`
+	Depth  int    `json:"depth"`
+	// StartOffsetSeconds is the span's start relative to registry
+	// creation; DurationSeconds its length.
+	StartOffsetSeconds float64    `json:"start_offset_seconds"`
+	DurationSeconds    float64    `json:"duration_seconds"`
+	Attrs              []SpanAttr `json:"attrs,omitempty"`
+}
+
+// spanLog is a fixed-capacity ring of completed spans.
+type spanLog struct {
+	mu   sync.Mutex
+	ring [spanLogCap]SpanRecord
+	n    int // total appended
+}
+
+func (l *spanLog) add(rec SpanRecord) {
+	l.mu.Lock()
+	l.ring[l.n%spanLogCap] = rec
+	l.n++
+	l.mu.Unlock()
+}
+
+// recent returns up to max completed spans, oldest first.
+func (l *spanLog) recent(max int) []SpanRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.n
+	if n > spanLogCap {
+		n = spanLogCap
+	}
+	if max > 0 && n > max {
+		n = max
+	}
+	out := make([]SpanRecord, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, l.ring[(l.n-n+i)%spanLogCap])
+	}
+	return out
+}
+
+// StartSpan opens a root span. Nil registry → nil span.
+func (r *Registry) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{reg: r, name: name, start: now()}
+}
+
+// Child opens a nested span under sp. Nil span → nil child.
+func (sp *Span) Child(name string) *Span {
+	if sp == nil {
+		return nil
+	}
+	return &Span{reg: sp.reg, name: name, parent: sp.name, depth: sp.depth + 1, start: now()}
+}
+
+// Annotate attaches a key/value pair to the span.
+func (sp *Span) Annotate(key, value string) *Span {
+	if sp == nil {
+		return nil
+	}
+	sp.attrs = append(sp.attrs, SpanAttr{Key: key, Value: value})
+	return sp
+}
+
+// End closes the span: its duration is observed into the
+// obs_span_seconds{span=name} histogram and the completed record joins
+// the registry's ring. End on a nil span is a no-op; End at most once.
+func (sp *Span) End() {
+	if sp == nil {
+		return
+	}
+	end := now()
+	d := end.Sub(sp.start)
+	sp.reg.Histogram("obs_span_seconds", nil, "span", sp.name).Observe(d.Seconds())
+	sp.reg.spans.add(SpanRecord{
+		Name:               sp.name,
+		Parent:             sp.parent,
+		Depth:              sp.depth,
+		StartOffsetSeconds: sp.start.Sub(sp.reg.created).Seconds(),
+		DurationSeconds:    d.Seconds(),
+		Attrs:              sp.attrs,
+	})
+}
+
+// RecentSpans returns up to max recently completed spans, oldest first
+// (max ≤ 0 means the full retained window).
+func (r *Registry) RecentSpans(max int) []SpanRecord {
+	if r == nil {
+		return nil
+	}
+	return r.spans.recent(max)
+}

@@ -57,11 +57,25 @@ func Summarize(xs []float64) Summary {
 type Table struct {
 	header []string
 	rows   [][]string
+	right  map[int]bool
 }
 
 // NewTable creates a table with the given column headers.
 func NewTable(header ...string) *Table {
 	return &Table{header: header}
+}
+
+// AlignRight marks columns (0-based) as right-aligned — the natural
+// layout for numeric columns, where magnitudes line up. Unmarked columns
+// stay left-aligned.
+func (t *Table) AlignRight(cols ...int) *Table {
+	if t.right == nil {
+		t.right = make(map[int]bool, len(cols))
+	}
+	for _, c := range cols {
+		t.right[c] = true
+	}
+	return t
 }
 
 // AddRow appends a row; values are formatted with %v.
@@ -106,7 +120,11 @@ func (t *Table) String() string {
 			if i > 0 {
 				b.WriteString("  ")
 			}
-			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+			if t.right[i] {
+				fmt.Fprintf(&b, "%*s", widths[i], cell)
+			} else {
+				fmt.Fprintf(&b, "%-*s", widths[i], cell)
+			}
 		}
 		b.WriteByte('\n')
 	}

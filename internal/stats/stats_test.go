@@ -107,3 +107,22 @@ func TestTableFloatFormatting(t *testing.T) {
 		t.Errorf("fractional float should render with one decimal:\n%s", out)
 	}
 }
+
+func TestTableAlignRight(t *testing.T) {
+	tbl := NewTable("name", "count").AlignRight(1)
+	tbl.AddRow("a", 5)
+	tbl.AddRow("bbbb", 12345)
+	got := tbl.String()
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), got)
+	}
+	// Right-aligned column: values end at the same offset as the header.
+	if !strings.HasSuffix(lines[2], "    5") || !strings.HasSuffix(lines[3], "12345") {
+		t.Errorf("count column not right-aligned:\n%s", got)
+	}
+	// Left column stays left-aligned.
+	if !strings.HasPrefix(lines[2], "a   ") || !strings.HasPrefix(lines[3], "bbbb") {
+		t.Errorf("name column alignment changed:\n%s", got)
+	}
+}

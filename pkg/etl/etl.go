@@ -27,6 +27,7 @@ import (
 	"etlopt/internal/dsl"
 	"etlopt/internal/engine"
 	"etlopt/internal/equiv"
+	"etlopt/internal/obs"
 	"etlopt/internal/workflow"
 )
 
@@ -66,6 +67,13 @@ type (
 	Mode = engine.Mode
 	// EngineOption configures Run.
 	EngineOption = engine.Option
+	// MetricsRegistry collects observability series (counters, gauges,
+	// histograms, spans) from the optimizer and the engine. Collection is
+	// write-only: results are bit-identical with metrics on or off.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time copy of a MetricsRegistry,
+	// serializable as JSON or Prometheus text.
+	MetricsSnapshot = obs.Snapshot
 )
 
 // Execution modes for WithMode.
@@ -97,7 +105,28 @@ var (
 	WithMode = engine.WithMode
 	// WithBatchSize sets the pipelined mode's channel batch size.
 	WithBatchSize = engine.WithBatchSize
+	// WithMetrics attaches a metrics registry to Run; see Metrics.
+	WithMetrics = engine.WithMetrics
 )
+
+// defaultMetrics is the package-level registry Metrics returns: the
+// rendezvous point for applications that want one process-wide view of
+// every Optimize and Run they route through it.
+var defaultMetrics = obs.NewRegistry()
+
+// Metrics returns the package's default metrics registry. Pass it to
+// Optimize via Options.Metrics and to Run via WithMetrics(etl.Metrics()),
+// then export it with Snapshot():
+//
+//	snap := etl.Metrics().Snapshot()
+//	snap.WriteJSON(os.Stdout)       // or snap.WritePrometheus(w)
+//
+// Applications that want isolated collection build their own registry
+// with NewMetricsRegistry instead.
+func Metrics() *MetricsRegistry { return defaultMetrics }
+
+// NewMetricsRegistry returns a fresh, empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 
 // NewGraph returns an empty workflow graph.
 func NewGraph() *Graph { return workflow.NewGraph() }
@@ -152,6 +181,11 @@ type Options struct {
 	// recomputes every state's cost from scratch. Results are identical;
 	// incremental is faster.
 	FullCostEval bool
+	// Metrics, when non-nil, collects the search's observability series
+	// (states generated/visited/deduped, per-transition-kind counts, best
+	// cost, worker utilization). etl.Metrics() supplies the package-wide
+	// default registry. Collection never affects results.
+	Metrics *MetricsRegistry
 }
 
 // Optimize searches for the cheapest workflow equivalent to g and returns
@@ -164,6 +198,7 @@ func Optimize(ctx context.Context, g *Graph, opts Options) (*Result, error) {
 		Workers:          opts.Workers,
 		MergeConstraints: opts.MergeConstraints,
 		IncrementalCost:  !opts.FullCostEval,
+		Metrics:          opts.Metrics,
 	}
 	switch opts.Algorithm {
 	case ES:

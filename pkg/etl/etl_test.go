@@ -111,6 +111,36 @@ func TestSerializeRoundTrip(t *testing.T) {
 	}
 }
 
+func TestMetricsFacade(t *testing.T) {
+	ctx := context.Background()
+	g, err := etl.Parse(quickstartDSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if etl.Metrics() == nil || etl.Metrics() != etl.Metrics() {
+		t.Fatal("etl.Metrics() must return one stable package-level registry")
+	}
+	reg := etl.NewMetricsRegistry()
+	res, err := etl.Optimize(ctx, g, etl.Options{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := etl.Run(ctx, res.Best, buildBindings(), etl.WithMetrics(reg)); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if v, ok := snap.CounterValue("search_states_visited_total"); !ok || v == 0 {
+		t.Errorf("search_states_visited_total = %d, %v; want > 0", v, ok)
+	}
+	if v, ok := snap.CounterValue(`engine_runs_total{mode="materialized"}`); !ok || v != 1 {
+		t.Errorf(`engine_runs_total{mode="materialized"} = %d, %v; want 1`, v, ok)
+	}
+	// The default registry stayed untouched by the isolated one above.
+	if _, ok := etl.Metrics().Snapshot().CounterValue("search_states_visited_total"); ok {
+		t.Error("isolated registry leaked series into etl.Metrics()")
+	}
+}
+
 func TestWorkersOptionDeterminism(t *testing.T) {
 	ctx := context.Background()
 	g, err := etl.Parse(quickstartDSL)
