@@ -9,10 +9,12 @@
 //	etlbench -counts 4,3,3   # a quicker suite
 //	etlbench -fig4           # only the Fig. 4 cost cases
 //	etlbench -verify         # also validate every optimized workflow on data
+//	etlbench -expand FILE    # incremental-vs-full-clone expansion baseline
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -49,6 +51,7 @@ func run() error {
 		verify    = flag.Bool("verify", false, "validate every optimized workflow on generated data")
 		fig4      = flag.Bool("fig4", false, "print only the Fig. 4 cost cases")
 		ablations = flag.Bool("ablations", false, "run the DESIGN.md ablation studies and exit")
+		expand    = flag.String("expand", "", "run the incremental-vs-full-clone expansion baseline over the suite, write the JSON report here, and exit")
 		lintOnly  = flag.Bool("lint", false, "run the design checks over the generated suite and exit (warnings exit nonzero)")
 		quiet     = flag.Bool("quiet", false, "suppress per-workflow progress")
 		metrics   = flag.String("metrics", "", "write a JSON metrics snapshot of the whole suite here (auditable with etlvet metrics)")
@@ -79,6 +82,9 @@ func run() error {
 
 	if *lintOnly {
 		return lintSuite(countMap, *seed)
+	}
+	if *expand != "" {
+		return runExpand(*expand, countMap, *seed, *hsBudget, !*quiet)
 	}
 
 	cfg := experiments.SuiteConfig{
@@ -120,6 +126,33 @@ func run() error {
 	fmt.Println(experiments.Table2(results))
 	fmt.Println("§4.2 claims:")
 	fmt.Println(experiments.Claims(results))
+	return nil
+}
+
+// runExpand records the incremental-expansion baseline: the HS search over
+// the whole suite in the shipped incremental mode and the full-clone
+// baseline at Workers ∈ {1, 4}. Every scenario's four runs must agree
+// bit-for-bit (best cost, best signature, visited/generated counts) — the
+// determinism contract of DESIGN.md §7 — and the aggregate throughput of
+// the two modes lands in the JSON report (BENCH_expand.json in CI).
+func runExpand(path string, counts map[generator.Category]int, seed int64, hsBudget int, progress bool) error {
+	cfg := experiments.SuiteConfig{Seed: seed, Counts: counts, HSBudget: hsBudget}
+	if progress {
+		cfg.Progress = os.Stderr
+	}
+	rep, err := experiments.ExpandBench(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	rep.Summary(os.Stdout)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "expand baseline written to %s\n", path)
 	return nil
 }
 

@@ -68,6 +68,19 @@ type Options struct {
 	// §4.1; full recomputation is used when false. Results are identical;
 	// only speed differs.
 	IncrementalCost bool
+	// DisableIncrementalExpand turns off the incremental successor
+	// machinery — signature splicing and interning, the per-activity cost
+	// memo and the transposition cache — and additionally pays a flat
+	// Graph.Clone per admitted successor, emulating the pre-COW full-clone
+	// expansion pipeline. Results are identical; it exists as the baseline
+	// of BenchmarkIncrementalExpand and `etlbench -expand`.
+	DisableIncrementalExpand bool
+	// ExpandCacheSize bounds the transposition cache that memoizes
+	// successor costings across the search's workers: 0 means the default
+	// (16384 entries), negative disables the cache. The cache never
+	// changes results — cached costings are bit-identical to re-evaluated
+	// ones — so the size only trades memory for hit rate.
+	ExpandCacheSize int
 	// DisableDedup turns off signature-based duplicate-state detection
 	// (ablation A1). ES without dedup re-explores states and is
 	// dramatically slower.
@@ -189,6 +202,19 @@ type search struct {
 	visited *visitedSet
 	count   int // generation attempts (budget)
 	unique  int // distinct states (reported)
+	// model is the pricing model the search actually evaluates with: the
+	// caller's Options.Model wrapped in a cost.Memo unless the incremental
+	// expansion machinery is disabled. The memo exploits COW pointer
+	// sharing across states; it never changes a price.
+	model cost.Model
+	// xcache, when non-nil, is the transposition cache shared by workers
+	// and reducer for successor costings (see expandCache).
+	xcache *expandCache
+	// singleChain records whether S0 renders as a single target chain —
+	// the precondition under which signature splicing is provably exact
+	// (see workflow.SpliceSignature). The target count is invariant under
+	// all five transitions, so it is computed once from the initial state.
+	singleChain bool
 	// m is never nil: with Options.Metrics unset its handles are nil and
 	// every record degrades to a no-op. stopProgress, when set, flushes
 	// and stops the periodic progress line (see close).
@@ -204,13 +230,62 @@ func newSearch(ctx context.Context, opts Options) *search {
 		cancel:  func() {},
 		pool:    newPool(opts.Workers),
 		visited: newVisitedSet(),
+		model:   opts.Model,
 		m:       newSearchMetrics(opts.Metrics, opts.Workers),
+	}
+	if !opts.DisableIncrementalExpand {
+		s.model = cost.NewMemo(opts.Model)
+		if opts.ExpandCacheSize >= 0 {
+			size := opts.ExpandCacheSize
+			if size == 0 {
+				size = 16384
+			}
+			s.xcache = newExpandCache(size)
+		}
 	}
 	s.pool.busy = s.m.busyHook()
 	if opts.Timeout > 0 {
 		s.runCtx, s.cancel = context.WithTimeout(ctx, opts.Timeout)
 	}
 	return s
+}
+
+// intern canonicalizes a signature through the visited set's interning
+// table; the baseline mode skips interning to emulate the pre-incremental
+// pipeline.
+func (s *search) intern(sig string) string {
+	if s.opts.DisableIncrementalExpand {
+		return sig
+	}
+	return s.visited.Intern(sig)
+}
+
+// spliceOrFull derives the signature of res.Graph from its parent's
+// signature when the transition describes itself as a local segment
+// replacement and the splice is provably exact; otherwise it re-renders
+// the signature from the graph. Under `-tags etldebug` every splice is
+// cross-checked against the full rendering.
+func (s *search) spliceOrFull(parentSig string, res *transitions.Result) string {
+	if s.opts.DisableIncrementalExpand {
+		return res.Graph.Signature()
+	}
+	if res.SigOld != "" {
+		if sig, ok := workflow.SpliceSignature(parentSig, res.SigOld, res.SigNew, s.singleChain); ok {
+			if workflow.DebugCOW {
+				if full := res.Graph.Signature(); full != sig {
+					panic(fmt.Sprintf("core: spliced signature diverged from full rendering\n  spliced: %s\n  full:    %s", sig, full))
+				}
+			}
+			return sig
+		}
+	}
+	return res.Graph.Signature()
+}
+
+// signatureOf returns the canonical (interned) signature of a successor.
+// It is safe to call from worker goroutines.
+func (s *search) signatureOf(parent *state, res *transitions.Result) string {
+	return s.intern(s.spliceOrFull(parent.sig, res))
 }
 
 // budgetLeft reports whether the state budget and deadline allow further
@@ -268,21 +343,54 @@ func (s *search) countShift(n int) {
 // evaluate costs a state, incrementally from its parent when enabled.
 func (s *search) evaluate(parent *state, g *workflow.Graph, dirty []workflow.NodeID) (*cost.Costing, error) {
 	if s.opts.IncrementalCost && parent != nil && parent.costing != nil {
-		return cost.EvaluateIncremental(parent.costing, g, s.opts.Model, dirty)
+		return cost.EvaluateIncremental(parent.costing, g, s.model, dirty)
 	}
-	return cost.Evaluate(g, s.opts.Model)
+	return cost.Evaluate(g, s.model)
 }
 
 // makeState wraps a transition result into a costed state. The parent must
 // be the state the transition was applied to — its costing is the baseline
 // of the semi-incremental evaluation, which only recomputes the dirty
-// nodes and their descendants.
-func (s *search) makeState(parent *state, res *transitions.Result) (*state, error) {
-	costing, err := s.evaluate(parent, res.Graph, res.Dirty)
-	if err != nil {
-		return nil, err
+// nodes and their descendants. sig is the state's canonical signature, as
+// returned by signatureOf — computing it is the caller's job because
+// admission decides on the signature alone, before the state is built.
+//
+// The costing is served from the transposition cache when an identical
+// graph (same signature and structural fingerprint) was already evaluated
+// by any worker; cached costings are bit-identical to fresh ones, so the
+// cache is invisible in results.
+func (s *search) makeState(parent *state, res *transitions.Result, sig string) (*state, error) {
+	g := res.Graph
+	var costing *cost.Costing
+	if s.opts.DisableIncrementalExpand {
+		// Full-clone baseline: pay the flat per-successor copy the
+		// pre-COW pipeline paid, and skip every expansion cache.
+		g = g.Clone()
+		c, err := s.evaluate(parent, g, res.Dirty)
+		if err != nil {
+			return nil, err
+		}
+		costing = c
+	} else if s.xcache != nil {
+		fp := g.Fingerprint()
+		if c, ok := s.xcache.get(sig, fp); ok {
+			costing = c
+		} else {
+			c, err := s.evaluate(parent, g, res.Dirty)
+			if err != nil {
+				return nil, err
+			}
+			s.xcache.put(sig, fp, c)
+			costing = c
+		}
+	} else {
+		c, err := s.evaluate(parent, g, res.Dirty)
+		if err != nil {
+			return nil, err
+		}
+		costing = c
 	}
-	st := &state{g: res.Graph, costing: costing, sig: res.Graph.Signature()}
+	st := &state{g: g, costing: costing, sig: sig}
 	if parent != nil {
 		st.trace = append(append([]string(nil), parent.trace...), res.Description)
 	}
@@ -304,13 +412,13 @@ func (s *search) makeState(parent *state, res *transitions.Result) (*state, erro
 // nil) are recorded in the structured trace as uncosted steps — their
 // intermediate graphs are transient, so they carry no signature — while
 // res's own transition is recorded costed.
-func (s *search) makeStateFull(traceParent *state, res *transitions.Result, pre1, pre2 []transitions.Applied) (*state, error) {
+func (s *search) makeStateFull(traceParent *state, res *transitions.Result, pre1, pre2 []transitions.Applied, sig string) (*state, error) {
 	g := res.Graph
-	costing, err := cost.Evaluate(g, s.opts.Model)
+	costing, err := cost.Evaluate(g, s.model)
 	if err != nil {
 		return nil, err
 	}
-	st := &state{g: g, costing: costing, sig: g.Signature()}
+	st := &state{g: g, costing: costing, sig: sig}
 	if traceParent != nil {
 		st.trace = append(append([]string(nil), traceParent.trace...), res.Description)
 	}
@@ -343,11 +451,12 @@ func (s *search) initialState(g0 *workflow.Graph) (*state, error) {
 	if err := g0.CheckWellFormed(); err != nil {
 		return nil, fmt.Errorf("core: initial state: %w", err)
 	}
-	costing, err := cost.Evaluate(g0, s.opts.Model)
+	costing, err := cost.Evaluate(g0, s.model)
 	if err != nil {
 		return nil, fmt.Errorf("core: costing initial state: %w", err)
 	}
-	st := &state{g: g0, costing: costing, sig: g0.Signature()}
+	s.singleChain = len(g0.Targets()) == 1
+	st := &state{g: g0, costing: costing, sig: s.intern(g0.Signature())}
 	if !s.opts.DisableDedup {
 		s.visited.Add(st.sig)
 	}
@@ -392,6 +501,7 @@ func finishResult(alg string, s0, best *state, s *search, start time.Time, termi
 	}
 	s.m.bestCost.Set(best.costing.Total)
 	s.m.recordPath(steps)
+	s.flushCacheMetrics()
 	return &Result{
 		Best:        final,
 		BestCost:    best.costing.Total,

@@ -100,7 +100,7 @@ func (s *search) precost(cur *state, exps []*transitions.Result) []candidate {
 	cands := make([]candidate, len(exps))
 	s.pool.run(len(exps), func(i int) {
 		res := exps[i]
-		sig := res.Graph.Signature()
+		sig := s.signatureOf(cur, res)
 		cands[i].sig = sig
 		// States the search already admitted will be rejected by the
 		// reducer without needing a costing; skip the work. A racing miss
@@ -109,7 +109,7 @@ func (s *search) precost(cur *state, exps []*transitions.Result) []candidate {
 		if !s.opts.DisableDedup && s.visited.Contains(sig) {
 			return
 		}
-		cands[i].st, cands[i].err = s.makeState(cur, res)
+		cands[i].st, cands[i].err = s.makeState(cur, res, sig)
 	})
 	return cands
 }
@@ -169,7 +169,7 @@ func Exhaustive(ctx context.Context, g0 *workflow.Graph, opts Options) (*Result,
 			if cands != nil {
 				sig = cands[i].sig
 			} else {
-				sig = res.Graph.Signature()
+				sig = s.signatureOf(cur, res)
 			}
 			if !s.admit(sig) {
 				continue
@@ -179,7 +179,7 @@ func Exhaustive(ctx context.Context, g0 *workflow.Graph, opts Options) (*Result,
 			if cands != nil && (cands[i].st != nil || cands[i].err != nil) {
 				st, err = cands[i].st, cands[i].err
 			} else {
-				st, err = s.makeState(cur, res)
+				st, err = s.makeState(cur, res, sig)
 			}
 			if err != nil {
 				return nil, err

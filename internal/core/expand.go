@@ -1,0 +1,121 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"etlopt/internal/cost"
+)
+
+// expandShards is the lock striping of the transposition cache; 16 keeps
+// contention negligible at realistic worker counts.
+const expandShards = 16
+
+// expandEntry caches the evaluated costing of one successor graph. fp is
+// the structural fingerprint guarding against the one hazard of
+// signature-keyed reuse: equal signatures can label the "same" state with
+// different node IDs when it is reached through different MER/FAC
+// lineages, and a Costing is NodeID-keyed, so reusing it across labelings
+// would corrupt the downstream incremental evaluations. Entries are only
+// served when both signature and fingerprint match.
+type expandEntry struct {
+	fp      uint64
+	costing *cost.Costing
+}
+
+type expandStripe struct {
+	mu   sync.Mutex
+	m    map[string]expandEntry
+	ring []string // FIFO of inserted keys; overwritten slot = evicted key
+	next int
+}
+
+// expandCache is the transposition cache for successor pre-costing: the
+// search's workers and reducer share it, so a state generated again — a
+// sibling duplicate racing the visited set, or a Phase IV re-exploration
+// of an ordering the greedy seeding already costed — returns its costing
+// without re-evaluating the graph.
+//
+// Determinism: a cached costing is bit-identical to what re-evaluation
+// would produce (models are deterministic, evaluation order is the
+// graph's canonical topological order, and the fingerprint pins the exact
+// structure), so cache hits and misses — which do vary with timing and
+// worker count — are unobservable in search results. Admission is
+// keep-first per key with FIFO eviction per stripe; the only shared state
+// is value-canonical.
+type expandCache struct {
+	capPerStripe int
+	stripes      [expandShards]expandStripe
+
+	hits, misses, evictions atomic.Int64
+}
+
+// newExpandCache builds a cache bounded to roughly size entries.
+func newExpandCache(size int) *expandCache {
+	per := size / expandShards
+	if per < 1 {
+		per = 1
+	}
+	c := &expandCache{capPerStripe: per}
+	for i := range c.stripes {
+		c.stripes[i].m = make(map[string]expandEntry)
+		c.stripes[i].ring = make([]string, per)
+	}
+	return c
+}
+
+// stripeFor hashes a signature to its stripe (FNV-1a).
+func (c *expandCache) stripeFor(sig string) *expandStripe {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(sig); i++ {
+		h ^= uint64(sig[i])
+		h *= prime64
+	}
+	return &c.stripes[h%expandShards]
+}
+
+// get returns the cached costing for (sig, fp), if present.
+func (c *expandCache) get(sig string, fp uint64) (*cost.Costing, bool) {
+	s := c.stripeFor(sig)
+	s.mu.Lock()
+	e, ok := s.m[sig]
+	s.mu.Unlock()
+	if ok && e.fp == fp {
+		c.hits.Add(1)
+		return e.costing, true
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// put admits a costing for (sig, fp). The first write per key wins —
+// values are canonical, so overwriting buys nothing — and a full stripe
+// evicts its oldest key (FIFO ring).
+func (c *expandCache) put(sig string, fp uint64, costing *cost.Costing) {
+	s := c.stripeFor(sig)
+	s.mu.Lock()
+	if _, ok := s.m[sig]; ok {
+		s.mu.Unlock()
+		return
+	}
+	if old := s.ring[s.next]; old != "" {
+		delete(s.m, old)
+		c.evictions.Add(1)
+	}
+	s.ring[s.next] = sig
+	s.next = (s.next + 1) % len(s.ring)
+	s.m[sig] = expandEntry{fp: fp, costing: costing}
+	s.mu.Unlock()
+}
+
+// stats returns the cumulative hit/miss/eviction counts. They are
+// timing-dependent (concurrent workers race the same keys), so they feed
+// the expand_* observability series, which is exempt from the
+// worker-invariance contract of the search_* namespace.
+func (c *expandCache) stats() (hits, misses, evictions int64) {
+	return c.hits.Load(), c.misses.Load(), c.evictions.Load()
+}

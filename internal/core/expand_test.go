@@ -1,0 +1,139 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"etlopt/internal/cost"
+	"etlopt/internal/generator"
+	"etlopt/internal/workflow"
+)
+
+func TestExpandCacheGetPut(t *testing.T) {
+	c := newExpandCache(64)
+	costing := &cost.Costing{Total: 42}
+	if _, ok := c.get("sig", 1); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.put("sig", 1, costing)
+	got, ok := c.get("sig", 1)
+	if !ok || got != costing {
+		t.Fatalf("get after put = (%v, %v), want the stored costing", got, ok)
+	}
+	// Same signature, different structural fingerprint: must NOT hit —
+	// this is the guard against NodeID-relabeled states sharing costings.
+	if _, ok := c.get("sig", 2); ok {
+		t.Fatal("fingerprint mismatch served a cached costing")
+	}
+	// Keep-first admission: a second put for the key is ignored.
+	other := &cost.Costing{Total: 7}
+	c.put("sig", 9, other)
+	if got, ok := c.get("sig", 1); !ok || got != costing {
+		t.Fatal("second put overwrote the canonical first entry")
+	}
+}
+
+func TestExpandCacheEviction(t *testing.T) {
+	// One entry per stripe: inserting two keys on one stripe evicts the
+	// first (FIFO ring of size 1).
+	c := newExpandCache(expandShards)
+	var onStripe []string
+	target := c.stripeFor("probe-0")
+	for i := 0; len(onStripe) < 2; i++ {
+		k := fmt.Sprintf("probe-%d", i)
+		if c.stripeFor(k) == target {
+			onStripe = append(onStripe, k)
+		}
+	}
+	c.put(onStripe[0], 1, &cost.Costing{Total: 1})
+	c.put(onStripe[1], 2, &cost.Costing{Total: 2})
+	if _, ok := c.get(onStripe[0], 1); ok {
+		t.Fatal("oldest key survived a full stripe")
+	}
+	if _, ok := c.get(onStripe[1], 2); !ok {
+		t.Fatal("newest key missing after eviction")
+	}
+	if _, _, ev := c.stats(); ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+}
+
+// TestIncrementalExpandEquivalence is the correctness contract of the
+// whole incremental-expansion machinery: for every algorithm, a spread of
+// scenarios and Workers ∈ {1, 4}, the incremental pipeline (COW
+// successors, cost memo, signature splicing + interning, transposition
+// cache) must produce bit-identical best signatures, costs and search
+// statistics to the full-clone baseline. The full 40-scenario sweep runs
+// in `etlbench -expand`; this test pins the same property on a suite
+// small enough for every `go test` run.
+func TestIncrementalExpandEquivalence(t *testing.T) {
+	ctx := context.Background()
+	algos := map[string]func(context.Context, *workflow.Graph, Options) (*Result, error){
+		"ES":        Exhaustive,
+		"HS":        Heuristic,
+		"HS-Greedy": HSGreedy,
+	}
+	for seed := int64(0); seed < 8; seed++ {
+		cat := generator.Small
+		if seed >= 5 {
+			cat = generator.Medium
+		}
+		sc, err := generator.Generate(generator.CategoryConfig(cat, 4200+seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, algo := range algos {
+			if name == "ES" && cat != generator.Small {
+				continue // keep the exhaustive runs cheap
+			}
+			for _, workers := range []int{1, 4} {
+				opts := Options{IncrementalCost: true, MaxStates: 2500, Workers: workers}
+				baseOpts := opts
+				baseOpts.DisableIncrementalExpand = true
+				inc, err := algo(ctx, sc.Graph, opts)
+				if err != nil {
+					t.Fatalf("seed %d %s workers=%d incremental: %v", seed, name, workers, err)
+				}
+				full, err := algo(ctx, sc.Graph, baseOpts)
+				if err != nil {
+					t.Fatalf("seed %d %s workers=%d full-clone: %v", seed, name, workers, err)
+				}
+				if inc.BestCost != full.BestCost {
+					t.Errorf("seed %d %s workers=%d: BestCost %v (incremental) != %v (full-clone)",
+						seed, name, workers, inc.BestCost, full.BestCost)
+				}
+				if got, want := inc.Best.Signature(), full.Best.Signature(); got != want {
+					t.Errorf("seed %d %s workers=%d: best signature diverged\n incremental: %s\n full-clone:  %s",
+						seed, name, workers, got, want)
+				}
+				if inc.Visited != full.Visited || inc.Generated != full.Generated {
+					t.Errorf("seed %d %s workers=%d: stats diverged: (%d,%d) vs (%d,%d)",
+						seed, name, workers, inc.Visited, inc.Generated, full.Visited, full.Generated)
+				}
+			}
+		}
+	}
+}
+
+// TestExpandCacheDisabled pins that a negative ExpandCacheSize turns the
+// transposition cache off without changing results.
+func TestExpandCacheDisabled(t *testing.T) {
+	sc, err := generator.Generate(generator.CategoryConfig(generator.Small, 77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	with, err := Exhaustive(ctx, sc.Graph, Options{IncrementalCost: true, MaxStates: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Exhaustive(ctx, sc.Graph, Options{IncrementalCost: true, MaxStates: 2000, ExpandCacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.BestCost != without.BestCost || with.Best.Signature() != without.Best.Signature() {
+		t.Fatalf("transposition cache changed results: %v/%s vs %v/%s",
+			with.BestCost, with.Best.Signature(), without.BestCost, without.Best.Signature())
+	}
+}

@@ -69,7 +69,7 @@ func heuristicSearch(ctx context.Context, alg string, g0 *workflow.Graph, opts O
 			}
 			return nil, err
 		}
-		st, err := s.makeState(cur, res)
+		st, err := s.makeState(cur, res, s.signatureOf(cur, res))
 		if err != nil {
 			return nil, err
 		}
@@ -127,11 +127,14 @@ func heuristicSearch(ctx context.Context, alg string, g0 *workflow.Graph, opts O
 		if err != nil {
 			continue
 		}
-		if !s.admit(res.Graph.Signature()) {
+		// FAC restructures branches (SigOld is empty), so the signature is
+		// rendered in full and only interned.
+		sig := s.intern(res.Graph.Signature())
+		if !s.admit(sig) {
 			continue
 		}
 		s.m.accept("FAC")
-		st, err := s.makeStateFull(base, res, sh1.Applied, sh2.Applied)
+		st, err := s.makeStateFull(base, res, sh1.Applied, sh2.Applied, sig)
 		if err != nil {
 			return nil, err
 		}
@@ -172,11 +175,12 @@ func heuristicSearch(ctx context.Context, alg string, g0 *workflow.Graph, opts O
 			if err != nil {
 				continue
 			}
-			if !s.admit(res.Graph.Signature()) {
+			sig := s.intern(res.Graph.Signature())
+			if !s.admit(sig) {
 				continue
 			}
 			s.m.accept("DIS")
-			st, err := s.makeStateFull(si, res, sh.Applied, nil)
+			st, err := s.makeStateFull(si, res, sh.Applied, nil, sig)
 			if err != nil {
 				return nil, err
 			}
@@ -345,8 +349,16 @@ func (s *search) optimizeLocalGroupsFrom(st *state, greedy bool) *state {
 // against the base state and other groups' reorderings do not touch this
 // group's activities or schemata — but a rejection is reported rather
 // than trusted.
+//
+// The signature is maintained incrementally across the replay: each swap
+// splices its segment into the running signature, and both the trace
+// steps and the final state carry the interned handle — the same string
+// instance the visited set stores — instead of a post-hoc re-rendering of
+// the graph, so trace and dedup bookkeeping are provably about the same
+// state.
 func (s *search) replaySwaps(cur *state, gs *groupState) (*state, error) {
 	g := cur.g
+	sig := cur.sig
 	var dirty []workflow.NodeID
 	var steps []TraceStep
 	if s.opts.Trace {
@@ -358,17 +370,18 @@ func (s *search) replaySwaps(cur *state, gs *groupState) (*state, error) {
 			return nil, err
 		}
 		g = res.Graph
+		sig = s.spliceOrFull(sig, res)
 		dirty = append(dirty, res.Dirty...)
 		if s.opts.Trace {
-			steps = append(steps, stepOf(res.Applied, g.Signature(), 0, false))
+			steps = append(steps, stepOf(res.Applied, s.intern(sig), 0, false))
 		}
 	}
 	var costing *cost.Costing
 	var err error
 	if s.opts.IncrementalCost {
-		costing, err = cost.EvaluateIncremental(cur.costing, g, s.opts.Model, dirty)
+		costing, err = cost.EvaluateIncremental(cur.costing, g, s.model, dirty)
 	} else {
-		costing, err = cost.Evaluate(g, s.opts.Model)
+		costing, err = cost.Evaluate(g, s.model)
 	}
 	if err != nil {
 		return nil, err
@@ -381,7 +394,7 @@ func (s *search) replaySwaps(cur *state, gs *groupState) (*state, error) {
 		last.Costed = true
 	}
 	trace := append(append([]string(nil), cur.trace...), gs.descs...)
-	return &state{g: g, costing: costing, sig: g.Signature(), trace: trace, steps: steps}, nil
+	return &state{g: g, costing: costing, sig: s.intern(sig), trace: trace, steps: steps}, nil
 }
 
 // adjacentPairs enumerates provider→consumer activity pairs within the
@@ -430,14 +443,14 @@ func (s *search) groupFull(base *state, members map[workflow.NodeID]bool, out *g
 			if err != nil {
 				continue
 			}
-			sig := res.Graph.Signature()
+			sig := s.signatureOf(cur.st, res)
 			if localSeen[sig] {
 				continue
 			}
 			localSeen[sig] = true
 			out.admits = append(out.admits, sig)
 			generated++
-			st2, err := s.makeState(cur.st, res)
+			st2, err := s.makeState(cur.st, res, sig)
 			if err != nil {
 				continue
 			}
@@ -472,8 +485,9 @@ func (s *search) groupGreedy(base *state, members map[workflow.NodeID]bool, out 
 		if err != nil {
 			continue
 		}
-		out.admits = append(out.admits, res.Graph.Signature())
-		st2, err := s.makeState(cur.st, res)
+		sig := s.signatureOf(cur.st, res)
+		out.admits = append(out.admits, sig)
+		st2, err := s.makeState(cur.st, res, sig)
 		if err != nil {
 			continue
 		}

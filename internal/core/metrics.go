@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"etlopt/internal/cost"
 	"etlopt/internal/obs"
 )
 
@@ -47,6 +48,18 @@ type searchMetrics struct {
 	initialCost *obs.Gauge // search_initial_cost: C(S0)
 
 	workerBusy []*obs.Gauge // search_worker_busy_seconds{worker}: per-worker pool time
+
+	// Expansion-cache effectiveness. These live outside the search_*
+	// namespace on purpose: hit/miss splits depend on worker timing
+	// (concurrent misses on one key each count), so they are exempt from
+	// the worker-invariance contract that TestMetricsSeriesDeterministic
+	// enforces over every search_* series — while the search *results*
+	// stay bit-identical because cached values are canonical.
+	expandHits  *obs.Counter // expand_cache_hits_total: transposition-cache hits
+	expandMiss  *obs.Counter // expand_cache_misses_total
+	expandEvict *obs.Counter // expand_cache_evictions_total: FIFO ring overwrites
+	memoHits    *obs.Counter // expand_cost_memo_hits_total: per-activity cost memo hits
+	memoMiss    *obs.Counter // expand_cost_memo_misses_total
 }
 
 // newSearchMetrics builds the handle set against a registry (nil registry
@@ -63,6 +76,11 @@ func newSearchMetrics(r *obs.Registry, workers int) *searchMetrics {
 		frontier:    r.Gauge("search_frontier_size"),
 		bestCost:    r.Gauge("search_best_cost"),
 		initialCost: r.Gauge("search_initial_cost"),
+		expandHits:  r.Counter("expand_cache_hits_total"),
+		expandMiss:  r.Counter("expand_cache_misses_total"),
+		expandEvict: r.Counter("expand_cache_evictions_total"),
+		memoHits:    r.Counter("expand_cost_memo_hits_total"),
+		memoMiss:    r.Counter("expand_cost_memo_misses_total"),
 	}
 	for i, op := range opNames {
 		m.attempts[i] = r.Counter("search_transition_attempts_total", "op", op)
@@ -113,6 +131,24 @@ func (m *searchMetrics) busyHook() func(worker int, d time.Duration) {
 		if worker < len(m.workerBusy) {
 			m.workerBusy[worker].Add(d.Seconds())
 		}
+	}
+}
+
+// flushCacheMetrics publishes the expansion caches' cumulative counters
+// into the expand_* series. It runs once per search, at result assembly —
+// the caches are write-hot, so they count in local atomics and export at
+// the end rather than bumping registry counters per lookup.
+func (s *search) flushCacheMetrics() {
+	if s.xcache != nil {
+		h, m, e := s.xcache.stats()
+		s.m.expandHits.Add(h)
+		s.m.expandMiss.Add(m)
+		s.m.expandEvict.Add(e)
+	}
+	if memo, ok := s.model.(*cost.Memo); ok {
+		h, m := memo.Stats()
+		s.m.memoHits.Add(h)
+		s.m.memoMiss.Add(m)
 	}
 }
 

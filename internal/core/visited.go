@@ -14,10 +14,22 @@ const visitedStripes = 64
 // authoritative write path (Add) stays on the single reducer goroutine,
 // which is what keeps admission — and therefore the search result —
 // deterministic regardless of worker count.
+//
+// The set also owns the search's signature interning table: every
+// signature entering the search (spliced or fully rendered) is first
+// canonicalized through Intern, so the strings stored here, carried by
+// states, compared by the heap tie-break and recorded in traces are the
+// same instances. Map probes on interned keys then short-circuit on
+// pointer equality inside the runtime's string comparison instead of
+// walking the bytes of two equal signatures.
 type visitedSet struct {
 	stripes [visitedStripes]struct {
 		mu sync.RWMutex
 		m  map[string]struct{}
+	}
+	intern [visitedStripes]struct {
+		mu sync.RWMutex
+		m  map[string]string
 	}
 }
 
@@ -25,8 +37,38 @@ func newVisitedSet() *visitedSet {
 	v := &visitedSet{}
 	for i := range v.stripes {
 		v.stripes[i].m = make(map[string]struct{})
+		v.intern[i].m = make(map[string]string)
 	}
 	return v
+}
+
+// Intern returns the canonical instance of sig, registering sig itself on
+// first sight. Safe for concurrent use; the read path takes only an
+// RLock, so workers interning mostly-known signatures do not serialize.
+func (v *visitedSet) Intern(sig string) string {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(sig); i++ {
+		h ^= uint64(sig[i])
+		h *= prime64
+	}
+	s := &v.intern[h%visitedStripes]
+	s.mu.RLock()
+	c, ok := s.m[sig]
+	s.mu.RUnlock()
+	if ok {
+		return c
+	}
+	s.mu.Lock()
+	if c, ok = s.m[sig]; !ok {
+		s.m[sig] = sig
+		c = sig
+	}
+	s.mu.Unlock()
+	return c
 }
 
 // stripeFor hashes a signature to its shard (FNV-1a).

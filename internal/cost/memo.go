@@ -1,0 +1,139 @@
+package cost
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"etlopt/internal/workflow"
+)
+
+// memoKey identifies one activity pricing: the activity instance and the
+// fingerprint of its input cardinalities. Copy-on-write successor
+// construction shares untouched *Activity values across the states of a
+// search, so the pointer doubles as a cheap, collision-free identity for
+// "same activity, same parameters" — a rewritten activity is always a
+// fresh Clone and therefore a fresh key. Cardinalities are keyed by their
+// exact bit patterns: a memo hit returns bit-identical numbers, keeping
+// memoized search results indistinguishable from unmemoized ones.
+type memoKey struct {
+	act    *workflow.Activity
+	n      int
+	c0, c1 uint64
+}
+
+type memoEntry struct {
+	cost, rows float64
+}
+
+// memoShards keeps lock contention negligible when search workers price
+// successors concurrently.
+const memoShards = 16
+
+// memoShardCap bounds each shard; a full shard stops admitting (the
+// pointer-keyed population is naturally bounded by the distinct activities
+// × cardinality contexts of one search, so eviction buys nothing).
+const memoShardCap = 4096
+
+// Memo wraps a cost Model with a concurrency-safe per-activity cache:
+// pricing an activity twice on the same input cardinalities hits the
+// cache. It exploits the fact that Models are stateless and deterministic
+// (the Model contract) and that the search's COW states share activity
+// pointers, so repeated evaluations of the untouched parts of sibling
+// states collapse into lookups.
+//
+// Memo itself satisfies Model and is safe for concurrent use.
+type Memo struct {
+	base   Model
+	shards [memoShards]struct {
+		mu sync.Mutex
+		m  map[memoKey]memoEntry
+	}
+	hits, misses atomic.Int64
+}
+
+// NewMemo wraps base in a Memo. Wrapping an existing *Memo returns it
+// unchanged, so layered callers cannot stack caches by accident.
+func NewMemo(base Model) *Memo {
+	if m, ok := base.(*Memo); ok {
+		return m
+	}
+	mm := &Memo{base: base}
+	for i := range mm.shards {
+		mm.shards[i].m = make(map[memoKey]memoEntry)
+	}
+	return mm
+}
+
+// key builds the memo key, reporting ok=false for arities the key cannot
+// represent (no activity in this codebase has more than two inputs, but a
+// custom graph could).
+func key(a *workflow.Activity, in []float64) (memoKey, bool) {
+	k := memoKey{act: a, n: len(in)}
+	switch len(in) {
+	case 1:
+		k.c0 = math.Float64bits(in[0])
+	case 2:
+		k.c0 = math.Float64bits(in[0])
+		k.c1 = math.Float64bits(in[1])
+	default:
+		return k, false
+	}
+	return k, true
+}
+
+// shardOf mixes the cardinality bits into a shard index (splitmix64
+// finalizer) so one hot activity spreads across shards as its input
+// cardinality varies.
+func shardOf(k memoKey) int {
+	x := k.c0 ^ (k.c1 << 1) ^ uint64(k.n)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % memoShards)
+}
+
+// entry returns the memoized pricing of a on in, computing and admitting
+// it on a miss.
+func (m *Memo) entry(a *workflow.Activity, in []float64) memoEntry {
+	k, ok := key(a, in)
+	if !ok {
+		return memoEntry{cost: m.base.ActivityCost(a, in), rows: m.base.OutputRows(a, in)}
+	}
+	s := &m.shards[shardOf(k)]
+	s.mu.Lock()
+	if e, ok := s.m[k]; ok {
+		s.mu.Unlock()
+		m.hits.Add(1)
+		return e
+	}
+	s.mu.Unlock()
+	m.misses.Add(1)
+	e := memoEntry{cost: m.base.ActivityCost(a, in), rows: m.base.OutputRows(a, in)}
+	s.mu.Lock()
+	if len(s.m) < memoShardCap {
+		s.m[k] = e
+	}
+	s.mu.Unlock()
+	return e
+}
+
+// ActivityCost implements Model.
+func (m *Memo) ActivityCost(a *workflow.Activity, in []float64) float64 {
+	return m.entry(a, in).cost
+}
+
+// OutputRows implements Model.
+func (m *Memo) OutputRows(a *workflow.Activity, in []float64) float64 {
+	return m.entry(a, in).rows
+}
+
+// Stats returns the cumulative hit and miss counts. Counts are advisory
+// (concurrent misses on one key may each count a miss) and feed the
+// expand_cost_memo_* observability series, which is deliberately outside
+// the worker-invariant search_* namespace.
+func (m *Memo) Stats() (hits, misses int64) {
+	return m.hits.Load(), m.misses.Load()
+}

@@ -1,0 +1,74 @@
+package dsl
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// exampleSeeds loads the repository's curated example workflows as fuzz
+// seeds, so the fuzzer starts from realistic full-size inputs rather than
+// having to rediscover the grammar.
+func exampleSeeds(f *testing.F) {
+	dir := filepath.Join("..", "..", "examples", "workflows")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		f.Fatalf("reading example workflows: %v", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".etl" {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			f.Fatalf("reading %s: %v", e.Name(), err)
+		}
+		f.Add(string(src))
+	}
+}
+
+// FuzzParseDSL fuzzes the full workflow DSL pipeline: Parse never panics,
+// whatever parses and serializes must re-parse, and one serialization
+// normalizes the text — the second round trip is a fix-point with a stable
+// signature. (The first round may legitimately renumber nodes: Serialize
+// emits declarations in topological order so re-parsing assigns execution
+// priorities, the §4.1 identifier scheme; a fuzz input declared out of
+// topological order therefore converges on round one and must be exactly
+// stable from then on.)
+func FuzzParseDSL(f *testing.F) {
+	exampleSeeds(f)
+	f.Add(fig1Text)
+	f.Add("recordset A source rows=10 schema=X\nactivity a1 filter pred=\"X > 1\" sel=0.5\nrecordset B target schema=X\n\nflow A -> a1\nflow a1 -> B\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		text, err := Serialize(g)
+		if err != nil {
+			return // graphs the DSL cannot express may refuse
+		}
+		g2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("serialized form does not re-parse: %v\n%s", err, text)
+		}
+		text2, err := Serialize(g2)
+		if err != nil {
+			t.Fatalf("re-parsed form does not re-serialize: %v\n%s", err, text)
+		}
+		g3, err := Parse(text2)
+		if err != nil {
+			t.Fatalf("second round trip does not re-parse: %v\n%s", err, text2)
+		}
+		if got, want := g3.Signature(), g2.Signature(); got != want {
+			t.Fatalf("second round trip changed the signature: %q -> %q\n%s", want, got, text2)
+		}
+		text3, err := Serialize(g3)
+		if err != nil {
+			t.Fatalf("second round trip does not re-serialize: %v", err)
+		}
+		if text3 != text2 {
+			t.Fatalf("serialization is not a fix-point after normalization:\nfirst:\n%s\nsecond:\n%s", text2, text3)
+		}
+	})
+}

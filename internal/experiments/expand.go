@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"etlopt/internal/core"
+	"etlopt/internal/generator"
+)
+
+// ExpandRun records one suite scenario's incremental-vs-full-clone
+// comparison: the HS search runs once per mode and worker width, and the
+// results must be bit-identical — same best cost, same best signature,
+// same visited/generated counts — before the timings are worth reading.
+type ExpandRun struct {
+	Category   string `json:"category"`
+	Index      int    `json:"index"`
+	Activities int    `json:"activities"`
+
+	// Search outcome, identical across modes and worker widths by
+	// construction (the run fails otherwise).
+	BestCost      float64 `json:"best_cost"`
+	BestSignature string  `json:"best_signature"`
+	Visited       int     `json:"visited"`
+	Generated     int     `json:"generated"`
+
+	// Wall-clock seconds summed over the worker widths, per mode.
+	IncrementalSeconds float64 `json:"incremental_seconds"`
+	FullCloneSeconds   float64 `json:"full_clone_seconds"`
+}
+
+// ExpandReport is the JSON baseline etlbench -expand records
+// (BENCH_expand.json): the whole-suite incremental-vs-full-clone
+// equivalence check plus aggregate throughput.
+type ExpandReport struct {
+	Seed     int64 `json:"seed"`
+	HSBudget int   `json:"hs_budget"`
+	GroupCap int   `json:"group_cap,omitempty"`
+	Workers  []int `json:"workers"`
+
+	Scenarios    int  `json:"scenarios"`
+	AllIdentical bool `json:"all_identical"`
+
+	// Generated states per wall-clock second, summed over every scenario
+	// and worker width.
+	IncrementalStatesPerSec float64 `json:"incremental_states_per_sec"`
+	FullCloneStatesPerSec   float64 `json:"full_clone_states_per_sec"`
+	Speedup                 float64 `json:"speedup"`
+
+	Runs []ExpandRun `json:"runs"`
+}
+
+// expandWorkers are the widths the equivalence contract is checked at;
+// results must be identical at any width, these two cover the sequential
+// and the racy path.
+var expandWorkers = []int{1, 4}
+
+// ExpandBench runs the HS search over the full suite in both expansion
+// modes — the shipped incremental pipeline (COW successors, signature
+// splicing + interning, cost memo, transposition cache) and the
+// full-clone baseline (Options.DisableIncrementalExpand) — at Workers
+// ∈ {1, 4}, verifies all four runs of every scenario agree bit-for-bit,
+// and reports aggregate throughput. It is the 40-scenario companion of
+// core's BenchmarkIncrementalExpand and TestIncrementalExpandEquivalence.
+func ExpandBench(ctx context.Context, cfg SuiteConfig) (*ExpandReport, error) {
+	cfg = cfg.withDefaults()
+	rep := &ExpandReport{
+		Seed:         cfg.Seed,
+		HSBudget:     cfg.HSBudget,
+		GroupCap:     cfg.GroupCap,
+		Workers:      expandWorkers,
+		AllIdentical: true,
+	}
+	var incGen, fullGen int
+	for _, cat := range []generator.Category{generator.Small, generator.Medium, generator.Large} {
+		n := cfg.Counts[cat]
+		if n == 0 {
+			continue
+		}
+		scenarios, err := generator.Suite(cat, n, cfg.Seed+int64(cat)*104729)
+		if err != nil {
+			return nil, err
+		}
+		for i, sc := range scenarios {
+			run := ExpandRun{
+				Category:   cat.String(),
+				Index:      i + 1,
+				Activities: len(sc.Graph.Activities()),
+			}
+			first := true
+			for _, workers := range expandWorkers {
+				for _, disable := range []bool{false, true} {
+					res, err := core.Heuristic(ctx, sc.Graph, core.Options{
+						MaxStates:                cfg.HSBudget,
+						GroupCap:                 cfg.GroupCap,
+						Workers:                  workers,
+						IncrementalCost:          !disable,
+						DisableIncrementalExpand: disable,
+						Metrics:                  cfg.Metrics,
+					})
+					if err != nil {
+						return nil, fmt.Errorf("expand: %s workflow %d (workers=%d, full-clone=%v): %w",
+							cat, i+1, workers, disable, err)
+					}
+					sig := res.Best.Signature()
+					if first {
+						run.BestCost = res.BestCost
+						run.BestSignature = sig
+						run.Visited = res.Visited
+						run.Generated = res.Generated
+						first = false
+					} else if res.BestCost != run.BestCost || sig != run.BestSignature ||
+						res.Visited != run.Visited || res.Generated != run.Generated {
+						rep.AllIdentical = false
+						return nil, fmt.Errorf(
+							"expand: %s workflow %d diverged at workers=%d full-clone=%v:\n"+
+								"  cost %v vs %v, visited %d vs %d, generated %d vs %d\n"+
+								"  sig  %s\n  want %s",
+							cat, i+1, workers, disable,
+							res.BestCost, run.BestCost, res.Visited, run.Visited,
+							res.Generated, run.Generated, sig, run.BestSignature)
+					}
+					if disable {
+						run.FullCloneSeconds += res.Elapsed.Seconds()
+						fullGen += res.Generated
+					} else {
+						run.IncrementalSeconds += res.Elapsed.Seconds()
+						incGen += res.Generated
+					}
+				}
+			}
+			rep.Runs = append(rep.Runs, run)
+			rep.Scenarios++
+			if cfg.Progress != nil {
+				speedup := 0.0
+				if run.IncrementalSeconds > 0 {
+					speedup = run.FullCloneSeconds / run.IncrementalSeconds
+				}
+				fmt.Fprintf(cfg.Progress,
+					"%-6s #%02d  acts=%3d  identical  inc %6.2fs  full %6.2fs  ×%.2f\n",
+					cat, i+1, run.Activities, run.IncrementalSeconds, run.FullCloneSeconds, speedup)
+			}
+		}
+	}
+	var incSec, fullSec float64
+	for _, r := range rep.Runs {
+		incSec += r.IncrementalSeconds
+		fullSec += r.FullCloneSeconds
+	}
+	if incSec > 0 {
+		rep.IncrementalStatesPerSec = float64(incGen) / incSec
+	}
+	if fullSec > 0 {
+		rep.FullCloneStatesPerSec = float64(fullGen) / fullSec
+	}
+	if rep.FullCloneStatesPerSec > 0 {
+		rep.Speedup = rep.IncrementalStatesPerSec / rep.FullCloneStatesPerSec
+	}
+	return rep, nil
+}
+
+// Summary renders the headline numbers of an expand report.
+func (r *ExpandReport) Summary(w io.Writer) {
+	fmt.Fprintf(w, "expand baseline: %d scenarios × workers %v, HS budget %d\n",
+		r.Scenarios, r.Workers, r.HSBudget)
+	fmt.Fprintf(w, "  all runs bit-identical: %v\n", r.AllIdentical)
+	fmt.Fprintf(w, "  incremental: %.0f states/s   full-clone: %.0f states/s   speedup ×%.2f\n",
+		r.IncrementalStatesPerSec, r.FullCloneStatesPerSec, r.Speedup)
+}

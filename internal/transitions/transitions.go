@@ -1,10 +1,12 @@
 // Package transitions implements the five state transitions of §2.2 —
 // Swap (SWA), Factorize (FAC), Distribute (DIS), Merge (MER) and Split
 // (SPL) — together with their applicability rules (§3.3). Every transition
-// operates on a clone of the input workflow, regenerates all schemata and
-// verifies well-formedness, so a successful Result always carries a valid
-// equivalent state; an illegal application returns a *Rejection error
-// describing which rule fired.
+// derives a copy-on-write child of the input workflow (workflow.Graph's
+// Mutate), rewrites only the local neighborhood of the transition site,
+// regenerates the affected schemata and verifies their well-formedness, so
+// a successful Result always carries a valid equivalent state while
+// structurally sharing everything the rewrite did not touch; an illegal
+// application returns a *Rejection error describing which rule fired.
 package transitions
 
 import (
@@ -75,6 +77,14 @@ type Result struct {
 	Description string
 	// Applied records the transition structurally for replay and audit.
 	Applied Applied
+	// SigOld/SigNew describe the rewrite's effect on the state signature
+	// (§4.1) as a local segment replacement: the parent signature contains
+	// the dot-joined run SigOld exactly where the rewrite happened, and
+	// the derived state renders SigNew there instead. Both are empty for
+	// transitions that restructure branches (FAC, DIS) rather than a
+	// single chain segment; callers then re-render the signature in full.
+	// See workflow.SpliceSignature for the soundness conditions.
+	SigOld, SigNew string
 }
 
 // finish regenerates schemata on the rewritten clone (incrementally from
@@ -89,6 +99,15 @@ func finish(name string, g *workflow.Graph, dirty []workflow.NodeID, applied App
 	}
 	if err := g.CheckWellFormedNodes(recomputed); err != nil {
 		return nil, reject(name, "resulting state ill-formed: %v", err)
+	}
+	if workflow.DebugCOW {
+		// `-tags etldebug`: audit the copy-on-write discipline after every
+		// rewrite — the derived graph must be internally consistent and the
+		// parent it structurally shares with must be untouched.
+		if err := g.CheckIntegrity(); err != nil {
+			panic(fmt.Sprintf("transitions: %s corrupted the derived graph: %v", name, err))
+		}
+		g.DebugVerifySharing()
 	}
 	return &Result{Graph: g, Dirty: dirty, Description: applied.Desc, Applied: applied}, nil
 }
@@ -182,7 +201,7 @@ func Swap(g *workflow.Graph, a1, a2 workflow.NodeID) (*Result, error) {
 		return nil, err
 	}
 
-	c := g.Clone()
+	c := g.Mutate()
 	p := c.Providers(a1)[0]
 	consumer := c.Consumers(a2)[0]
 	// p→a1→a2→consumer becomes p→a2→a1→consumer. Each rewiring preserves
@@ -192,7 +211,13 @@ func Swap(g *workflow.Graph, a1, a2 workflow.NodeID) (*Result, error) {
 	c.MustReplaceProvider(a2, a1, p)
 
 	desc := fmt.Sprintf("SWA(%s,%s)", n1.Act.Tag, n2.Act.Tag)
-	return finish(name, c, []workflow.NodeID{a1, a2}, applied2(name, desc, a1, a2))
+	res, err := finish(name, c, []workflow.NodeID{a1, a2}, applied2(name, desc, a1, a2))
+	if err != nil {
+		return nil, err
+	}
+	res.SigOld = n1.Act.Tag + "." + n2.Act.Tag
+	res.SigNew = n2.Act.Tag + "." + n1.Act.Tag
+	return res, nil
 }
 
 // combineTags merges the signature tags of factorized activities: equal
@@ -251,7 +276,7 @@ func Factorize(g *workflow.Graph, ab, a1, a2 workflow.NodeID) (*Result, error) {
 		return nil, reject(name, "%s does not commute with %s", n1.Act.Sem.Op, nb.Act.Sem.Op)
 	}
 
-	c := g.Clone()
+	c := g.Mutate()
 	x1 := c.Providers(a1)[0]
 	x2 := c.Providers(a2)[0]
 	// Bypass a1 and a2: each edge (x,ai) becomes (x,ab) in ai's position.
@@ -305,7 +330,7 @@ func Distribute(g *workflow.Graph, ab, a workflow.NodeID) (*Result, error) {
 		return nil, reject(name, "%s does not distribute over %s", na.Act.Sem.Op, nb.Act.Sem.Op)
 	}
 
-	c := g.Clone()
+	c := g.Mutate()
 	consumer := c.Consumers(a)[0]
 	// Bypass a: ab feeds a's consumer in a's position.
 	c.MustReplaceProvider(consumer, a, ab)
@@ -393,7 +418,7 @@ func Merge(g *workflow.Graph, a1, a2 workflow.NodeID) (*Result, error) {
 		return nil, reject(name, "both activities must have exactly one consumer")
 	}
 
-	c := g.Clone()
+	c := g.Mutate()
 	p := c.Providers(a1)[0]
 	consumer := c.Consumers(a2)[0]
 	comps := append(flattenComponents(c.Node(a1).Act), flattenComponents(c.Node(a2).Act)...)
@@ -405,7 +430,13 @@ func Merge(g *workflow.Graph, a1, a2 workflow.NodeID) (*Result, error) {
 	c.RemoveNode(a2)
 
 	desc := fmt.Sprintf("MER(%s,%s,%s)", m.Tag, n1.Act.Tag, n2.Act.Tag)
-	return finish(name, c, []workflow.NodeID{id}, applied2(name, desc, a1, a2))
+	res, err := finish(name, c, []workflow.NodeID{id}, applied2(name, desc, a1, a2))
+	if err != nil {
+		return nil, err
+	}
+	res.SigOld = n1.Act.Tag + "." + n2.Act.Tag
+	res.SigNew = m.Tag
+	return res, nil
 }
 
 // Split applies SPL(a1+2,a1,a2): a previously merged package is split into
@@ -425,7 +456,7 @@ func Split(g *workflow.Graph, id workflow.NodeID) (*Result, error) {
 		return nil, reject(name, "merged activity %d has fewer than two components", id)
 	}
 
-	c := g.Clone()
+	c := g.Mutate()
 	p := c.Providers(id)[0]
 	consumer := c.Consumers(id)[0]
 	first := comps[0].Clone()
@@ -443,7 +474,13 @@ func Split(g *workflow.Graph, id workflow.NodeID) (*Result, error) {
 	c.RemoveNode(id)
 
 	desc := fmt.Sprintf("SPL(%s,%s,%s)", n.Act.Tag, first.Tag, second.Tag)
-	return finish(name, c, []workflow.NodeID{id1, id2}, applied1(name, desc, id))
+	res, err := finish(name, c, []workflow.NodeID{id1, id2}, applied1(name, desc, id))
+	if err != nil {
+		return nil, err
+	}
+	res.SigOld = n.Act.Tag
+	res.SigNew = first.Tag + "." + second.Tag
+	return res, nil
 }
 
 // SplitAll repeatedly splits every merged activity until none remain —

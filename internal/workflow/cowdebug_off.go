@@ -1,0 +1,19 @@
+//go:build !etldebug
+
+package workflow
+
+// DebugCOW reports whether the copy-on-write ownership audit is compiled
+// in. Build with `-tags etldebug` to enable it: every transition then
+// re-verifies graph integrity and checks that rewriting a Mutate child
+// left its parent's signature untouched. Release builds pay nothing — the
+// shadow is never allocated and the checks compile to no-ops.
+const DebugCOW = false
+
+// cowShadow is the etldebug ownership-audit record; empty in release
+// builds.
+type cowShadow struct{}
+
+func debugRecordMutate(parent, child *Graph) {}
+
+// DebugVerifySharing is a no-op without `-tags etldebug`.
+func (g *Graph) DebugVerifySharing() {}

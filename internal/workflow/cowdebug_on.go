@@ -1,0 +1,37 @@
+//go:build etldebug
+
+package workflow
+
+import "fmt"
+
+// DebugCOW reports whether the copy-on-write ownership audit is compiled
+// in; this build has it on (`-tags etldebug`).
+const DebugCOW = true
+
+// cowShadow remembers, for a Mutate child, which graph it was derived from
+// and what that parent looked like at derivation time. If rewriting the
+// child ever leaks through the structural sharing, the parent's signature
+// changes and DebugVerifySharing catches it at the rewrite site instead of
+// as a corrupted search result much later.
+type cowShadow struct {
+	parent    *Graph
+	parentSig string
+}
+
+func debugRecordMutate(parent, child *Graph) {
+	child.dbg = &cowShadow{parent: parent, parentSig: parent.Signature()}
+}
+
+// DebugVerifySharing panics if this graph's Mutate parent no longer
+// renders the signature it had when the child was derived — i.e. a
+// mutation of the child leaked into shared state. Transitions call it
+// after every rewrite in etldebug builds.
+func (g *Graph) DebugVerifySharing() {
+	if g.dbg == nil {
+		return
+	}
+	if sig := g.dbg.parent.Signature(); sig != g.dbg.parentSig {
+		panic(fmt.Sprintf("workflow: COW violation: mutating a child changed its parent's signature\n  before: %s\n  after:  %s",
+			g.dbg.parentSig, sig))
+	}
+}

@@ -1,0 +1,85 @@
+package workflow_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"etlopt/internal/dsl"
+	"etlopt/internal/transitions"
+	"etlopt/internal/workflow"
+)
+
+// FuzzSignatureRoundTrip fuzzes the state-identity layer against arbitrary
+// parsed workflows: Signature must be a pure, deterministic rendering;
+// Clone, Mutate and DeepClone must preserve both the signature and the
+// structural fingerprint; and expanding every applicable transition — each
+// a copy-on-write child rewritten in place — must leave the parent's
+// identity untouched. This is the fuzz companion of the proptest suite:
+// the generator there covers realistic workflows, the fuzzer hunts for
+// degenerate shapes (empty graphs, single nodes, odd tag collisions) the
+// generator never emits.
+func FuzzSignatureRoundTrip(f *testing.F) {
+	dir := filepath.Join("..", "..", "examples", "workflows")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		f.Fatalf("reading example workflows: %v", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".etl" {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			f.Fatalf("reading %s: %v", e.Name(), err)
+		}
+		f.Add(string(src))
+	}
+	f.Add("recordset A source rows=5 schema=X\nrecordset B target schema=X\n\nflow A -> B\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := dsl.Parse(src)
+		if err != nil {
+			return
+		}
+		sig := g.Signature()
+		if again := g.Signature(); again != sig {
+			t.Fatalf("Signature is not deterministic: %q then %q", sig, again)
+		}
+		fp := g.Fingerprint()
+		if err := g.CheckIntegrity(); err != nil {
+			t.Fatalf("parsed graph fails integrity: %v", err)
+		}
+
+		for name, d := range map[string]*workflow.Graph{
+			"Clone":     g.Clone(),
+			"Mutate":    g.Mutate(),
+			"DeepClone": g.DeepClone(),
+		} {
+			if got := d.Signature(); got != sig {
+				t.Fatalf("%s changed the signature: %q -> %q", name, sig, got)
+			}
+			if got := d.Fingerprint(); got != fp {
+				t.Fatalf("%s changed the fingerprint: %x -> %x", name, fp, got)
+			}
+			if err := d.CheckIntegrity(); err != nil {
+				t.Fatalf("%s fails integrity: %v", name, err)
+			}
+		}
+
+		// Expand every applicable transition: each successor is a Mutate
+		// child rewritten in place, so the parent must come through with
+		// its identity — signature and fingerprint — bit-identical.
+		succs := transitions.Enumerate(g)
+		for _, res := range succs {
+			if err := res.Graph.CheckIntegrity(); err != nil {
+				t.Fatalf("%s produced a corrupt graph: %v", res.Description, err)
+			}
+		}
+		if got := g.Signature(); got != sig {
+			t.Fatalf("expanding %d successors changed the parent signature: %q -> %q", len(succs), sig, got)
+		}
+		if got := g.Fingerprint(); got != fp {
+			t.Fatalf("expanding %d successors changed the parent fingerprint: %x -> %x", len(succs), fp, got)
+		}
+	})
+}

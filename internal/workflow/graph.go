@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"etlopt/internal/data"
 )
@@ -11,7 +12,8 @@ import (
 // NodeID identifies a node within a Graph. IDs equal the execution priority
 // assigned by the topological ordering of the workflow in its *initial*
 // form (§4.1) for initial nodes; nodes created later by transitions receive
-// fresh IDs from the graph's counter.
+// fresh IDs from the graph's counter. IDs are never reused, so ascending ID
+// order equals insertion order.
 type NodeID int
 
 // NodeKind discriminates activities from recordsets.
@@ -45,6 +47,14 @@ func (r *RecordsetRef) Clone() *RecordsetRef {
 	return &c
 }
 
+// gtag is a graph ownership generation: a unique identity allocated per
+// mutable graph "epoch". A node whose owner equals the graph's current tag
+// may be written in place; any other node is shared with another graph (a
+// Mutate parent or child) and must be copied before writing. Calling
+// Mutate refreshes the parent's tag too, so both sides of the split
+// copy-on-write from then on.
+type gtag struct{ _ byte }
+
 // Node is a vertex of the workflow graph: either an activity or a
 // recordset, together with its derived input/output schemata.
 type Node struct {
@@ -61,6 +71,11 @@ type Node struct {
 	// Out is the derived output schema; for recordsets it equals the
 	// recordset schema.
 	Out data.Schema
+
+	// owner is the graph epoch allowed to write this node in place; see
+	// Graph.mutableNode. Nodes reachable from a graph with a different tag
+	// are structurally shared and copied on first write.
+	owner *gtag
 }
 
 // Label returns a short human-readable description of the node.
@@ -74,7 +89,8 @@ func (n *Node) Label() string {
 	return n.Act.Sem.String()
 }
 
-// Clone returns a deep copy of the node.
+// Clone returns a deep copy of the node. The copy carries no owner; the
+// graph inserting it assigns one.
 func (n *Node) Clone() *Node {
 	c := &Node{ID: n.ID, Kind: n.Kind}
 	if n.Act != nil {
@@ -91,56 +107,97 @@ func (n *Node) Clone() *Node {
 	return c
 }
 
-// shallowClone copies the node struct, structurally sharing the activity,
-// recordset descriptor and schema slices with the original. This is safe
-// under the package's immutability discipline: activities and recordset
-// descriptors are never mutated after being added to a graph (transitions
-// clone an activity before changing its tag), and derived schemas are
-// replaced wholesale by schema regeneration, never edited in place.
-func (n *Node) shallowClone() *Node {
-	c := *n
-	return &c
-}
-
 // Graph is an ETL workflow: a DAG G(V,E) with V = A ∪ RS and E = Pr (§2.1).
 // Provider lists are ordered; a binary activity's first provider feeds its
 // first input schema. Graph is not safe for concurrent mutation; the
-// optimizer clones per state.
+// optimizer derives per-state graphs with Mutate (copy-on-write) or Clone.
+//
+// Storage is slice-backed and indexed by NodeID: index 0 is unused, removed
+// nodes leave a nil slot, and IDs are never reused, so ascending index
+// order is insertion order. Mutate children copy only the three outer
+// slices (O(V) pointer copies) and structurally share every node and edge
+// list with the parent; all mutating methods replace inner slices with
+// fresh copies rather than editing them, and node writes go through
+// mutableNode, so a rewrite touching k nodes allocates O(V + k), not a
+// deep copy of the state.
 type Graph struct {
-	nodes  map[NodeID]*Node
-	order  []NodeID            // deterministic iteration order (insertion)
-	succ   map[NodeID][]NodeID // consumers, in attachment order
-	pred   map[NodeID][]NodeID // providers, in attachment order
+	nodes []*Node    // indexed by NodeID; nil = removed or never allocated
+	succ  [][]NodeID // consumers, in attachment order
+	pred  [][]NodeID // providers, in attachment order
+
 	nextID NodeID
+	live   int // number of non-nil nodes
 
 	// topoCache memoizes TopoSort between mutations; every structural
-	// change invalidates it. Derived states are costed, signed and
-	// checked several times each, so the memo is a large win during
-	// search.
+	// change invalidates it (by clearing this graph's field only — a
+	// shared cache slice itself is never written). Derived states are
+	// costed, signed and checked several times each, so the memo is a
+	// large win during search.
 	topoCache []NodeID
+
+	// owner is the graph's current ownership epoch (see gtag). It is
+	// atomic only because Mutate — callable concurrently on one shared
+	// parent by several search workers — refreshes it.
+	owner atomic.Pointer[gtag]
+
+	// dbg carries the `-tags etldebug` ownership-audit shadow; nil (and
+	// zero-cost) in release builds. See cowdebug_on.go.
+	dbg *cowShadow
 }
 
 // NewGraph returns an empty workflow graph.
 func NewGraph() *Graph {
-	return &Graph{
-		nodes: make(map[NodeID]*Node),
-		succ:  make(map[NodeID][]NodeID),
-		pred:  make(map[NodeID][]NodeID),
+	g := &Graph{
+		nodes: make([]*Node, 1),
+		succ:  make([][]NodeID, 1),
+		pred:  make([][]NodeID, 1),
 	}
+	g.owner.Store(new(gtag))
+	return g
 }
 
-// allocID returns the next fresh node ID.
+// tag returns the graph's current ownership epoch.
+func (g *Graph) tag() *gtag { return g.owner.Load() }
+
+// has reports whether id names a live node.
+func (g *Graph) has(id NodeID) bool {
+	return id > 0 && int(id) < len(g.nodes) && g.nodes[id] != nil
+}
+
+// allocID returns the next fresh node ID, growing the backing slices.
 func (g *Graph) allocID() NodeID {
 	g.nextID++
+	for int(g.nextID) >= len(g.nodes) {
+		g.nodes = append(g.nodes, nil)
+		g.succ = append(g.succ, nil)
+		g.pred = append(g.pred, nil)
+	}
 	return g.nextID
+}
+
+// mutableNode returns a node that this graph may write in place: the node
+// itself when this graph owns it, otherwise a fresh copy installed in this
+// graph's node table (the parent keeps the original). Schema regeneration
+// funnels every node write through here, which is what makes Mutate
+// children safe to rewrite while sharing untouched nodes with their
+// parent.
+func (g *Graph) mutableNode(id NodeID) *Node {
+	n := g.nodes[id]
+	if n == nil || n.owner == g.tag() {
+		return n
+	}
+	c := *n
+	c.owner = g.tag()
+	g.nodes[id] = &c
+	return g.nodes[id]
 }
 
 // AddRecordset adds a recordset node and returns its ID.
 func (g *Graph) AddRecordset(rs *RecordsetRef) NodeID {
 	id := g.allocID()
-	n := &Node{ID: id, Kind: KindRecordset, RS: rs.Clone(), Out: rs.Schema.Clone()}
+	n := &Node{ID: id, Kind: KindRecordset, RS: rs.Clone(), Out: rs.Schema.Clone(), owner: g.tag()}
 	g.nodes[id] = n
-	g.order = append(g.order, id)
+	g.live++
 	g.topoCache = nil
 	return id
 }
@@ -153,19 +210,41 @@ func (g *Graph) AddActivity(a *Activity) NodeID {
 	if act.Tag == "" {
 		act.Tag = fmt.Sprintf("%d", id)
 	}
-	n := &Node{ID: id, Kind: KindActivity, Act: act}
+	n := &Node{ID: id, Kind: KindActivity, Act: act, owner: g.tag()}
 	g.nodes[id] = n
-	g.order = append(g.order, id)
+	g.live++
 	g.topoCache = nil
 	return id
 }
 
+// appendID returns a fresh slice of ids plus id. Edge lists are replaced,
+// never appended in place: a Mutate child shares its parent's backing
+// arrays, and an in-place append from two sibling children would race on
+// the shared spare capacity.
+func appendID(ids []NodeID, id NodeID) []NodeID {
+	out := make([]NodeID, len(ids)+1)
+	copy(out, ids)
+	out[len(ids)] = id
+	return out
+}
+
+// removeIDCopy returns a fresh slice of ids without id (nil when empty).
+func removeIDCopy(ids []NodeID, id NodeID) []NodeID {
+	var out []NodeID
+	for _, x := range ids {
+		if x != id {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
 // AddEdge records that to consumes data from from.
 func (g *Graph) AddEdge(from, to NodeID) error {
-	if _, ok := g.nodes[from]; !ok {
+	if !g.has(from) {
 		return fmt.Errorf("workflow: edge from unknown node %d", from)
 	}
-	if _, ok := g.nodes[to]; !ok {
+	if !g.has(to) {
 		return fmt.Errorf("workflow: edge to unknown node %d", to)
 	}
 	for _, s := range g.succ[from] {
@@ -173,8 +252,8 @@ func (g *Graph) AddEdge(from, to NodeID) error {
 			return fmt.Errorf("workflow: duplicate edge %d->%d", from, to)
 		}
 	}
-	g.succ[from] = append(g.succ[from], to)
-	g.pred[to] = append(g.pred[to], from)
+	g.succ[from] = appendID(g.succ[from], to)
+	g.pred[to] = appendID(g.pred[to], from)
 	g.topoCache = nil
 	return nil
 }
@@ -188,23 +267,26 @@ func (g *Graph) MustAddEdge(from, to NodeID) {
 
 // RemoveEdge deletes the edge from→to if present.
 func (g *Graph) RemoveEdge(from, to NodeID) {
-	g.succ[from] = removeID(g.succ[from], to)
-	g.pred[to] = removeID(g.pred[to], from)
+	g.succ[from] = removeIDCopy(g.succ[from], to)
+	g.pred[to] = removeIDCopy(g.pred[to], from)
 	g.topoCache = nil
 }
 
 // RemoveNode deletes a node and all its edges.
 func (g *Graph) RemoveNode(id NodeID) {
-	for _, s := range append([]NodeID(nil), g.succ[id]...) {
-		g.RemoveEdge(id, s)
+	if !g.has(id) {
+		return
 	}
-	for _, p := range append([]NodeID(nil), g.pred[id]...) {
-		g.RemoveEdge(p, id)
+	for _, s := range g.succ[id] {
+		g.pred[s] = removeIDCopy(g.pred[s], id)
 	}
-	delete(g.nodes, id)
-	delete(g.succ, id)
-	delete(g.pred, id)
-	g.order = removeID(g.order, id)
+	for _, p := range g.pred[id] {
+		g.succ[p] = removeIDCopy(g.succ[p], id)
+	}
+	g.nodes[id] = nil
+	g.succ[id] = nil
+	g.pred[id] = nil
+	g.live--
 	g.topoCache = nil
 }
 
@@ -214,19 +296,22 @@ func (g *Graph) RemoveNode(id NodeID) {
 // oldP and newP are updated accordingly.
 func (g *Graph) ReplaceProvider(node, oldP, newP NodeID) error {
 	preds := g.pred[node]
-	found := false
+	idx := -1
 	for i, p := range preds {
 		if p == oldP {
-			preds[i] = newP
-			found = true
+			idx = i
 			break
 		}
 	}
-	if !found {
+	if idx < 0 {
 		return fmt.Errorf("workflow: node %d has no provider %d to replace", node, oldP)
 	}
-	g.succ[oldP] = removeID(g.succ[oldP], node)
-	g.succ[newP] = append(g.succ[newP], node)
+	out := make([]NodeID, len(preds))
+	copy(out, preds)
+	out[idx] = newP
+	g.pred[node] = out
+	g.succ[oldP] = removeIDCopy(g.succ[oldP], node)
+	g.succ[newP] = appendID(g.succ[newP], node)
 	g.topoCache = nil
 	return nil
 }
@@ -238,37 +323,51 @@ func (g *Graph) MustReplaceProvider(node, oldP, newP NodeID) {
 	}
 }
 
-func removeID(ids []NodeID, id NodeID) []NodeID {
-	out := ids[:0]
-	for _, x := range ids {
-		if x != id {
-			out = append(out, x)
+// Node returns the node with the given ID, or nil.
+func (g *Graph) Node(id NodeID) *Node {
+	if !g.has(id) {
+		return nil
+	}
+	return g.nodes[id]
+}
+
+// Providers returns the ordered provider IDs of a node.
+func (g *Graph) Providers(id NodeID) []NodeID {
+	if id <= 0 || int(id) >= len(g.pred) {
+		return nil
+	}
+	return g.pred[id]
+}
+
+// Consumers returns the ordered consumer IDs of a node.
+func (g *Graph) Consumers(id NodeID) []NodeID {
+	if id <= 0 || int(id) >= len(g.succ) {
+		return nil
+	}
+	return g.succ[id]
+}
+
+// Nodes returns all node IDs in insertion order (ascending, since IDs are
+// never reused).
+func (g *Graph) Nodes() []NodeID {
+	out := make([]NodeID, 0, g.live)
+	for id := 1; id < len(g.nodes); id++ {
+		if g.nodes[id] != nil {
+			out = append(out, NodeID(id))
 		}
 	}
 	return out
 }
 
-// Node returns the node with the given ID, or nil.
-func (g *Graph) Node(id NodeID) *Node { return g.nodes[id] }
-
-// Providers returns the ordered provider IDs of a node.
-func (g *Graph) Providers(id NodeID) []NodeID { return g.pred[id] }
-
-// Consumers returns the ordered consumer IDs of a node.
-func (g *Graph) Consumers(id NodeID) []NodeID { return g.succ[id] }
-
-// Nodes returns all node IDs in insertion order.
-func (g *Graph) Nodes() []NodeID { return append([]NodeID(nil), g.order...) }
-
 // Len returns the number of nodes.
-func (g *Graph) Len() int { return len(g.nodes) }
+func (g *Graph) Len() int { return g.live }
 
 // Activities returns the IDs of all activity nodes in insertion order.
 func (g *Graph) Activities() []NodeID {
 	var out []NodeID
-	for _, id := range g.order {
-		if g.nodes[id].Kind == KindActivity {
-			out = append(out, id)
+	for id := 1; id < len(g.nodes); id++ {
+		if n := g.nodes[id]; n != nil && n.Kind == KindActivity {
+			out = append(out, NodeID(id))
 		}
 	}
 	return out
@@ -277,9 +376,9 @@ func (g *Graph) Activities() []NodeID {
 // Recordsets returns the IDs of all recordset nodes in insertion order.
 func (g *Graph) Recordsets() []NodeID {
 	var out []NodeID
-	for _, id := range g.order {
-		if g.nodes[id].Kind == KindRecordset {
-			out = append(out, id)
+	for id := 1; id < len(g.nodes); id++ {
+		if n := g.nodes[id]; n != nil && n.Kind == KindRecordset {
+			out = append(out, NodeID(id))
 		}
 	}
 	return out
@@ -288,10 +387,10 @@ func (g *Graph) Recordsets() []NodeID {
 // Sources returns the IDs of source recordsets (RS_S).
 func (g *Graph) Sources() []NodeID {
 	var out []NodeID
-	for _, id := range g.order {
+	for id := 1; id < len(g.nodes); id++ {
 		n := g.nodes[id]
-		if n.Kind == KindRecordset && len(g.pred[id]) == 0 {
-			out = append(out, id)
+		if n != nil && n.Kind == KindRecordset && len(g.pred[id]) == 0 {
+			out = append(out, NodeID(id))
 		}
 	}
 	return out
@@ -300,33 +399,108 @@ func (g *Graph) Sources() []NodeID {
 // Targets returns the IDs of target recordsets (RS_T).
 func (g *Graph) Targets() []NodeID {
 	var out []NodeID
-	for _, id := range g.order {
+	for id := 1; id < len(g.nodes); id++ {
 		n := g.nodes[id]
-		if n.Kind == KindRecordset && len(g.succ[id]) == 0 && len(g.pred[id]) > 0 {
-			out = append(out, id)
+		if n != nil && n.Kind == KindRecordset && len(g.succ[id]) == 0 && len(g.pred[id]) > 0 {
+			out = append(out, NodeID(id))
 		}
 	}
 	return out
 }
 
-// Clone returns a deep copy of the graph sharing no mutable state.
+// Mutate returns a copy-on-write child of g: a new graph sharing every
+// node, edge list and the memoized topological order with g, copying only
+// the three outer index slices. The child may be rewritten freely — its
+// mutating methods replace inner slices and copy shared nodes before
+// writing — while g continues to serve reads (and further Mutate calls)
+// unchanged. This is the successor-construction primitive of the search:
+// a transition touching k nodes costs O(V + k) instead of a full clone.
 //
-// Immutability discipline: the search treats every reached state's graph
-// as frozen — transitions clone before rewriting, so a state handed to
-// concurrent workers is never structurally mutated. The only write that
-// can happen to a "read-only" graph is TopoSort lazily filling topoCache;
-// callers that share one graph across goroutines must call TopoSort once
-// beforehand to prime it (see the core package's pool).
+// Mutate also refreshes g's own ownership tag, so if the caller later
+// mutates g itself, g copies shared nodes too instead of corrupting its
+// children. Mutate is safe to call concurrently on one shared parent;
+// a graph must still never be *rewritten* by two goroutines at once.
+func (g *Graph) Mutate() *Graph {
+	c := &Graph{
+		nodes:     append(make([]*Node, 0, len(g.nodes)+2), g.nodes...),
+		succ:      append(make([][]NodeID, 0, len(g.succ)+2), g.succ...),
+		pred:      append(make([][]NodeID, 0, len(g.pred)+2), g.pred...),
+		nextID:    g.nextID,
+		live:      g.live,
+		topoCache: g.topoCache,
+	}
+	c.owner.Store(new(gtag))
+	// Disown the parent's nodes: whichever side writes first now copies.
+	g.owner.Store(new(gtag))
+	debugRecordMutate(g, c)
+	return c
+}
+
+// Clone returns an independent copy of the graph sharing no mutable state:
+// node structs and edge lists are copied (activities, recordset
+// descriptors and derived schemas stay structurally shared under the
+// package's immutability discipline — transitions clone an activity before
+// changing it, and schema regeneration replaces schema slices wholesale).
+//
+// Prefer Mutate for successor construction; Clone remains for callers that
+// want a flat, parent-independent copy, and it is what the full-clone
+// expansion baseline measures against.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
-		nodes:  make(map[NodeID]*Node, len(g.nodes)),
-		order:  append([]NodeID(nil), g.order...),
-		succ:   make(map[NodeID][]NodeID, len(g.succ)),
-		pred:   make(map[NodeID][]NodeID, len(g.pred)),
+		nodes:  make([]*Node, len(g.nodes)),
+		succ:   make([][]NodeID, len(g.succ)),
+		pred:   make([][]NodeID, len(g.pred)),
 		nextID: g.nextID,
+		live:   g.live,
 	}
+	c.owner.Store(new(gtag))
+	tag := c.tag()
 	for id, n := range g.nodes {
-		c.nodes[id] = n.shallowClone()
+		if n == nil {
+			continue
+		}
+		cp := *n
+		cp.owner = tag
+		c.nodes[id] = &cp
+	}
+	for id, s := range g.succ {
+		if len(s) > 0 {
+			c.succ[id] = append([]NodeID(nil), s...)
+		}
+	}
+	for id, p := range g.pred {
+		if len(p) > 0 {
+			c.pred[id] = append([]NodeID(nil), p...)
+		}
+	}
+	if g.topoCache != nil {
+		c.topoCache = append([]NodeID(nil), g.topoCache...)
+	}
+	return c
+}
+
+// DeepClone returns a fully deep copy: nodes, activities, recordset
+// descriptors and every derived schema. Nothing is shared with g. It is
+// the heavyweight end of the copying spectrum (Mutate ⊂ Clone ⊂
+// DeepClone), useful for tests and for callers that intend to mutate
+// activities in place.
+func (g *Graph) DeepClone() *Graph {
+	c := &Graph{
+		nodes:  make([]*Node, len(g.nodes)),
+		succ:   make([][]NodeID, len(g.succ)),
+		pred:   make([][]NodeID, len(g.pred)),
+		nextID: g.nextID,
+		live:   g.live,
+	}
+	c.owner.Store(new(gtag))
+	tag := c.tag()
+	for id, n := range g.nodes {
+		if n == nil {
+			continue
+		}
+		cp := n.Clone()
+		cp.owner = tag
+		c.nodes[id] = cp
 	}
 	for id, s := range g.succ {
 		if len(s) > 0 {
@@ -347,21 +521,26 @@ func (g *Graph) Clone() *Graph {
 // TopoSort returns the node IDs in a deterministic topological order
 // (Kahn's algorithm breaking ties by smallest ID). It returns an error if
 // the graph contains a cycle.
+//
+// The order is memoized; callers that share one graph across goroutines
+// must call TopoSort once beforehand to prime the cache (see the core
+// package's pool). A Mutate child inherits its parent's primed cache and
+// drops only its own reference on rewrite.
 func (g *Graph) TopoSort() ([]NodeID, error) {
 	if g.topoCache != nil {
 		return g.topoCache, nil
 	}
-	indeg := make(map[NodeID]int, len(g.nodes))
-	for id := range g.nodes {
-		indeg[id] = len(g.pred[id])
-	}
+	indeg := make([]int, len(g.nodes))
 	var ready []NodeID
-	for id, d := range indeg {
-		if d == 0 {
-			ready = append(ready, id)
+	for id := 1; id < len(g.nodes); id++ {
+		if g.nodes[id] == nil {
+			continue
+		}
+		indeg[id] = len(g.pred[id])
+		if indeg[id] == 0 {
+			ready = append(ready, NodeID(id))
 		}
 	}
-	sortIDs(ready)
 	var out []NodeID
 	for len(ready) > 0 {
 		id := ready[0]
@@ -377,8 +556,8 @@ func (g *Graph) TopoSort() ([]NodeID, error) {
 		sortIDs(unlocked)
 		ready = mergeSorted(ready, unlocked)
 	}
-	if len(out) != len(g.nodes) {
-		return nil, fmt.Errorf("workflow: graph contains a cycle (%d of %d nodes ordered)", len(out), len(g.nodes))
+	if len(out) != g.live {
+		return nil, fmt.Errorf("workflow: graph contains a cycle (%d of %d nodes ordered)", len(out), g.live)
 	}
 	g.topoCache = out
 	return out, nil
@@ -417,8 +596,11 @@ func (g *Graph) Validate() error {
 	if _, err := g.TopoSort(); err != nil {
 		return err
 	}
-	for _, id := range g.order {
+	for id := 1; id < len(g.nodes); id++ {
 		n := g.nodes[id]
+		if n == nil {
+			continue
+		}
 		switch n.Kind {
 		case KindActivity:
 			want := 1
@@ -443,6 +625,63 @@ func (g *Graph) Validate() error {
 		}
 	}
 	return nil
+}
+
+// CheckIntegrity verifies the representation invariants of the slice-backed
+// COW storage: node IDs match their slots, the live count is exact, every
+// edge endpoint is live, succ/pred mirror each other, and every node
+// carries an ownership tag. It exists for the `-tags etldebug` ownership
+// audit (transitions run it after every rewrite) and for tests; release
+// search paths never call it.
+func (g *Graph) CheckIntegrity() error {
+	live := 0
+	for id := 1; id < len(g.nodes); id++ {
+		n := g.nodes[id]
+		if n == nil {
+			continue
+		}
+		live++
+		if int(n.ID) != id {
+			return fmt.Errorf("workflow: node at slot %d carries ID %d", id, n.ID)
+		}
+		if n.owner == nil {
+			return fmt.Errorf("workflow: node %d has no ownership tag", id)
+		}
+		for _, s := range g.succ[id] {
+			if !g.has(s) {
+				return fmt.Errorf("workflow: edge %d->%d points at a dead node", id, s)
+			}
+			if !containsID(g.pred[s], NodeID(id)) {
+				return fmt.Errorf("workflow: edge %d->%d missing from pred[%d]", id, s, s)
+			}
+		}
+		for _, p := range g.pred[id] {
+			if !g.has(p) {
+				return fmt.Errorf("workflow: edge %d->%d comes from a dead node", p, id)
+			}
+			if !containsID(g.succ[p], NodeID(id)) {
+				return fmt.Errorf("workflow: edge %d->%d missing from succ[%d]", p, id, p)
+			}
+		}
+	}
+	if live != g.live {
+		return fmt.Errorf("workflow: live count %d, found %d nodes", g.live, live)
+	}
+	for id := g.nextID + 1; int(id) < len(g.nodes); id++ {
+		if g.nodes[id] != nil {
+			return fmt.Errorf("workflow: node %d beyond the ID counter %d", id, g.nextID)
+		}
+	}
+	return nil
+}
+
+func containsID(ids []NodeID, id NodeID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
 }
 
 // String renders the graph as an adjacency list for diagnostics.

@@ -1,0 +1,224 @@
+package workflow
+
+import (
+	"math"
+	"strings"
+)
+
+// sigBoundary reports whether c delimits signature tokens: the chain dot,
+// group parentheses, the branch separator `//` and the multi-target /
+// factorize-tag joiner `&`. A segment occurrence aligned on boundaries is
+// a whole run of node tags, never a substring of a longer tag.
+func sigBoundary(c byte) bool {
+	return c == '.' || c == '(' || c == ')' || c == '/' || c == '&'
+}
+
+func boundaryBefore(s string, i int) bool { return i == 0 || sigBoundary(s[i-1]) }
+func boundaryAfter(s string, i int) bool  { return i == len(s) || sigBoundary(s[i]) }
+
+// SpliceSignature derives the signature of a rewritten graph from its
+// parent's signature by replacing the rewrite's local segment oldSeg (a
+// dot-joined run of activity tags, e.g. "3.4" for a swap of tags 3 and 4)
+// with newSeg — O(|sig|) instead of re-rendering the whole graph.
+//
+// The result is guaranteed equal to the full Graph.Signature() of the
+// child only when the replacement provably cannot disturb the rendering
+// around it, so SpliceSignature is conservative and reports ok=false
+// whenever any of these holds, and the caller re-renders from scratch:
+//
+//   - singleChain is false: the graph has multiple target chains, and a
+//     depth-0 `&` is ambiguous between the sorted chain joiner and a
+//     factorize tag, so sorted-order preservation cannot be verified
+//     locally;
+//   - oldSeg does not occur, or occurs more than once, boundary-aligned;
+//   - the rewritten branch would change its sorted position inside any
+//     enclosing `(a//b)` parallel group (branch lists are sorted when
+//     rendered, so the splice must keep each enclosing sibling between
+//     its neighbors).
+func SpliceSignature(sig, oldSeg, newSeg string, singleChain bool) (string, bool) {
+	if !singleChain || oldSeg == "" {
+		return "", false
+	}
+	if oldSeg == newSeg {
+		return sig, true
+	}
+	lo := -1
+	for from := 0; from <= len(sig)-len(oldSeg); {
+		p := strings.Index(sig[from:], oldSeg)
+		if p < 0 {
+			break
+		}
+		p += from
+		if boundaryBefore(sig, p) && boundaryAfter(sig, p+len(oldSeg)) {
+			if lo >= 0 {
+				return "", false // ambiguous: two candidate sites
+			}
+			lo = p
+		}
+		from = p + 1
+	}
+	if lo < 0 {
+		return "", false
+	}
+	hi := lo + len(oldSeg)
+
+	// Walk outward through the enclosing parenthesized groups and check
+	// that the modified branch keeps its sorted position among its `//`
+	// siblings at every level. Tags never contain parentheses or slashes,
+	// so paren matching and depth-0 "//" splitting are unambiguous.
+	for spanLo := lo; ; {
+		open := enclosingOpen(sig, spanLo)
+		if open < 0 {
+			break // top level: a single target chain has no sorted siblings
+		}
+		close := matchingClose(sig, open)
+		if close < 0 {
+			return "", false // malformed signature; be conservative
+		}
+		if !siblingOrderPreserved(sig, open+1, close, lo, hi, newSeg) {
+			return "", false
+		}
+		spanLo = open
+	}
+	return sig[:lo] + newSeg + sig[hi:], true
+}
+
+// enclosingOpen returns the index of the '(' immediately enclosing
+// position i, or -1 when i sits at the top level.
+func enclosingOpen(s string, i int) int {
+	depth := 0
+	for j := i - 1; j >= 0; j-- {
+		switch s[j] {
+		case ')':
+			depth++
+		case '(':
+			if depth == 0 {
+				return j
+			}
+			depth--
+		}
+	}
+	return -1
+}
+
+// matchingClose returns the index of the ')' matching the '(' at open.
+func matchingClose(s string, open int) int {
+	depth := 0
+	for j := open; j < len(s); j++ {
+		switch s[j] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth == 0 {
+				return j
+			}
+		}
+	}
+	return -1
+}
+
+// siblingOrderPreserved splits the group interior s[start:end] at depth-0
+// "//" separators, locates the sibling containing the splice [lo,hi), and
+// reports whether that sibling — with the splice applied — still compares
+// between its left and right neighbors, i.e. whether a re-render would
+// keep the branches in the same sorted order.
+func siblingOrderPreserved(s string, start, end, lo, hi int, repl string) bool {
+	type span struct{ a, b int }
+	var sibs []span
+	depth, a := 0, start
+	for j := start; j < end; j++ {
+		switch s[j] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case '/':
+			if depth == 0 && j+1 < end && s[j+1] == '/' && (j == start || s[j-1] != '/') {
+				sibs = append(sibs, span{a, j})
+				a = j + 2
+			}
+		}
+	}
+	sibs = append(sibs, span{a, end})
+	if len(sibs) == 1 {
+		return true
+	}
+	idx := -1
+	for i, sp := range sibs {
+		if lo >= sp.a && hi <= sp.b {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false // splice straddles a separator; cannot be local
+	}
+	sp := sibs[idx]
+	mod := s[sp.a:lo] + repl + s[hi:sp.b]
+	if idx > 0 && s[sibs[idx-1].a:sibs[idx-1].b] > mod {
+		return false
+	}
+	if idx < len(sibs)-1 && mod > s[sibs[idx+1].a:sibs[idx+1].b] {
+		return false
+	}
+	return true
+}
+
+// Fingerprint returns a 64-bit structural hash of the graph: node IDs,
+// kinds, activity tags and operations, recordset names and cardinalities,
+// selectivities and the full provider lists, folded with FNV-1a in
+// ascending-ID order. Unlike Signature, it distinguishes graphs whose
+// signatures coincide but whose node-ID labelings differ (states reached
+// through different MER/FAC lineages), which is exactly what NodeID-keyed
+// costings are sensitive to — the transposition cache uses the pair
+// (signature, fingerprint) as its admission guard.
+func (g *Graph) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= prime64
+			x >>= 8
+		}
+	}
+	str := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+		h ^= 0xff
+		h *= prime64
+	}
+	for id := 1; id < len(g.nodes); id++ {
+		n := g.nodes[id]
+		if n == nil {
+			continue
+		}
+		mix(uint64(id))
+		mix(uint64(n.Kind))
+		if n.Act != nil {
+			str(n.Act.Tag)
+			mix(uint64(n.Act.Sem.Op))
+			mix(math.Float64bits(n.Act.Sel))
+			for _, comp := range n.Act.Sem.Components {
+				str(comp.Tag)
+				mix(uint64(comp.Sem.Op))
+				mix(math.Float64bits(comp.Sel))
+			}
+		}
+		if n.RS != nil {
+			str(n.RS.Name)
+			mix(math.Float64bits(n.RS.Rows))
+		}
+		for _, p := range g.pred[id] {
+			mix(uint64(p))
+		}
+		mix(0x9e3779b97f4a7c15)
+	}
+	return h
+}

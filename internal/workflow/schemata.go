@@ -25,7 +25,7 @@ func (g *Graph) RegenerateSchemata() error {
 		return err
 	}
 	for _, id := range order {
-		n := g.nodes[id]
+		n := g.mutableNode(id)
 		preds := g.pred[id]
 		n.In = make([]data.Schema, len(preds))
 		for i, p := range preds {
@@ -92,6 +92,7 @@ func (g *Graph) RegenerateSchemataIncremental(dirty []NodeID) ([]NodeID, error) 
 		if !need {
 			continue
 		}
+		n = g.mutableNode(id)
 		n.In = make([]data.Schema, len(preds))
 		for i, p := range preds {
 			n.In[i] = g.nodes[p].Out

@@ -21,9 +21,9 @@ func (g *Graph) Signature() string {
 	if len(targets) == 0 {
 		// Degenerate graphs (mid-construction): fall back to sinks of any
 		// kind so the signature is still total.
-		for _, id := range g.order {
-			if len(g.succ[id]) == 0 {
-				targets = append(targets, id)
+		for id := 1; id < len(g.nodes); id++ {
+			if g.nodes[id] != nil && len(g.succ[id]) == 0 {
+				targets = append(targets, NodeID(id))
 			}
 		}
 	}
@@ -174,9 +174,10 @@ type HomologousPair struct {
 // (Heuristic 1).
 func (g *Graph) FindHomologousPairs() []HomologousPair {
 	var pairs []HomologousPair
-	for _, id := range g.order {
+	for idx := 1; idx < len(g.nodes); idx++ {
+		id := NodeID(idx)
 		n := g.nodes[id]
-		if n.Kind != KindActivity || !n.Act.IsBinary() {
+		if n == nil || n.Kind != KindActivity || !n.Act.IsBinary() {
 			continue
 		}
 		preds := g.pred[id]
@@ -220,9 +221,10 @@ type DistributableActivity struct {
 // binary operation (see CanDistributeOver).
 func (g *Graph) FindDistributableActivities() []DistributableActivity {
 	var out []DistributableActivity
-	for _, id := range g.order {
+	for idx := 1; idx < len(g.nodes); idx++ {
+		id := NodeID(idx)
 		n := g.nodes[id]
-		if n.Kind != KindActivity || !n.Act.IsBinary() {
+		if n == nil || n.Kind != KindActivity || !n.Act.IsBinary() {
 			continue
 		}
 		succs := g.succ[id]
