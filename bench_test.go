@@ -289,6 +289,50 @@ func BenchmarkEngineModes(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelEngine measures the partition-parallel engine on a
+// large scenario with scaled-up data, against the materialized baseline
+// and at P ∈ {1, 2, 4, 8}. The reported speedup metric is wall clock
+// relative to materialized; the acceptance bar is ×2 at P=4.
+func BenchmarkParallelEngine(b *testing.B) {
+	cfg := generator.CategoryConfig(generator.Large, 33)
+	cfg.DataRows = 30_000
+	sc, err := generator.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bindings := sc.Bind()
+	baseline := make(map[int]float64) // b.N-normalized ns/op, keyed 0=materialized
+	run := func(b *testing.B, e *engine.Engine) float64 {
+		var rows int
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := e.Run(context.Background(), sc.Graph)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, t := range res.Targets {
+				rows = len(t)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(rows), "target-rows")
+		return float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	}
+	b.Run("Materialized", func(b *testing.B) {
+		baseline[0] = run(b, engine.New(bindings))
+	})
+	for _, p := range []int{1, 2, 4, 8} {
+		p := p
+		b.Run(fmt.Sprintf("Parallel/P=%d", p), func(b *testing.B) {
+			nsOp := run(b, engine.New(bindings,
+				engine.WithMode(engine.Parallel), engine.WithPartitions(p)))
+			if mat := baseline[0]; mat > 0 && nsOp > 0 {
+				b.ReportMetric(mat/nsOp, "speedup-vs-materialized")
+			}
+		})
+	}
+}
+
 // BenchmarkTransitionOps measures the per-transition cost of the rewrite
 // machinery itself (clone + rewire + incremental schema regeneration +
 // checks) — the inner loop of every search.

@@ -10,6 +10,12 @@
 //	etlbench -fig4           # only the Fig. 4 cost cases
 //	etlbench -verify         # also validate every optimized workflow on data
 //	etlbench -expand FILE    # incremental-vs-full-clone expansion baseline
+//	etlbench -engine FILE    # partition-parallel engine baseline (BENCH_engine.json)
+//
+// Flag vocabulary (shared across etlrun, etlopt and etlbench): -workers
+// controls optimizer search parallelism, while -partitions controls engine
+// data parallelism — the counts each recordset is split into by the
+// partition-parallel engine (-engine, and Table 2's exec columns).
 package main
 
 import (
@@ -47,7 +53,10 @@ func run() error {
 		seed      = flag.Int64("seed", 20050405, "base random seed (ICDE 2005 started April 5)")
 		esBudget  = flag.Int("esbudget", 60_000, "ES state budget per workflow")
 		hsBudget  = flag.Int("hsbudget", 30_000, "HS state budget per workflow")
-		workers   = flag.Int("workers", 0, "search parallelism (0 = all CPUs, 1 = sequential; same results either way)")
+		workers   = flag.Int("workers", 0, "optimizer search parallelism (0 = all CPUs, 1 = sequential; same results either way)")
+		partsFlag = flag.String("partitions", "", "engine data parallelism: comma-separated partition counts (e.g. 1,2,4,8); adds parallel exec columns to Table 2 and sets the -engine measurement points")
+		dataRows  = flag.Int("datarows", 0, "records generated per source for -engine (0 = 8000)")
+		engineOut = flag.String("engine", "", "run the partition-parallel engine baseline over the suite, write the JSON report here, and exit")
 		verify    = flag.Bool("verify", false, "validate every optimized workflow on generated data")
 		fig4      = flag.Bool("fig4", false, "print only the Fig. 4 cost cases")
 		ablations = flag.Bool("ablations", false, "run the DESIGN.md ablation studies and exit")
@@ -80,20 +89,29 @@ func run() error {
 		countMap[cat] = n
 	}
 
+	partitions, err := parsePartitions(*partsFlag)
+	if err != nil {
+		return err
+	}
+
 	if *lintOnly {
 		return lintSuite(countMap, *seed)
 	}
 	if *expand != "" {
 		return runExpand(*expand, countMap, *seed, *hsBudget, !*quiet)
 	}
+	if *engineOut != "" {
+		return runEngine(*engineOut, countMap, *seed, partitions, *dataRows, !*quiet)
+	}
 
 	cfg := experiments.SuiteConfig{
-		Seed:     *seed,
-		Counts:   countMap,
-		ESBudget: *esBudget,
-		HSBudget: *hsBudget,
-		Workers:  *workers,
-		Verify:   *verify,
+		Seed:       *seed,
+		Counts:     countMap,
+		ESBudget:   *esBudget,
+		HSBudget:   *hsBudget,
+		Workers:    *workers,
+		Partitions: partitions,
+		Verify:     *verify,
 	}
 	if !*quiet {
 		cfg.Progress = os.Stderr
@@ -153,6 +171,49 @@ func runExpand(path string, counts map[generator.Category]int, seed int64, hsBud
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "expand baseline written to %s\n", path)
+	return nil
+}
+
+// parsePartitions parses the -partitions flag ("" means unset).
+func parsePartitions(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || p < 1 {
+			return nil, fmt.Errorf("-partitions wants comma-separated counts >= 1, got %q", s)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// runEngine records the partition-parallel engine baseline: the full suite
+// with scaled-up data executed materialized and at each partition count,
+// every parallel run verified bit-identical, with the wall clocks landing
+// in the JSON report (BENCH_engine.json in CI).
+func runEngine(path string, counts map[generator.Category]int, seed int64, partitions []int, dataRows int, progress bool) error {
+	cfg := experiments.SuiteConfig{
+		Seed: seed, Counts: counts, Partitions: partitions, DataRows: dataRows,
+	}
+	if progress {
+		cfg.Progress = os.Stderr
+	}
+	rep, err := experiments.EngineBench(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	rep.Summary(os.Stdout)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "engine baseline written to %s\n", path)
 	return nil
 }
 

@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	etlgen -category small|medium|large -n 5 -seed 7 -dir out/ [-metrics snap.json]
+//	etlgen -category small|medium|large -n 5 -seed 7 -dir out/
+//	       [-data datadir/] [-metrics snap.json]
+//
+// With -data, the generated source rows and surrogate-key lookup tables
+// are also written as <datadir>/<name>.csv, so the emitted workflows are
+// directly executable: etlrun -in out/small-01.etl -data datadir.
 package main
 
 import (
@@ -12,10 +17,14 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 
+	"etlopt/internal/data"
 	"etlopt/internal/dsl"
 	"etlopt/internal/generator"
 	"etlopt/internal/obs"
+	"etlopt/internal/templates"
 )
 
 func main() {
@@ -31,6 +40,7 @@ func run() error {
 		n        = flag.Int("n", 1, "number of workflows to generate")
 		seed     = flag.Int64("seed", 1, "base random seed")
 		dir      = flag.String("dir", ".", "output directory")
+		dataDir  = flag.String("data", "", "also write each scenario's source and lookup rows as <dir>/<name>.csv for etlrun")
 		metrics  = flag.String("metrics", "", "write a JSON metrics snapshot of the generation run here")
 	)
 	flag.Parse()
@@ -67,6 +77,15 @@ func run() error {
 		if err := os.WriteFile(name, []byte(text), 0o644); err != nil {
 			return err
 		}
+		if *dataDir != "" {
+			// Scenarios reuse recordset names (SRC1, SKLOOKUP, ...) with
+			// per-scenario schemas, so each workflow gets its own data
+			// directory: etlrun -in small-01.etl -data <datadir>/small-01.
+			sub := filepath.Join(*dataDir, fmt.Sprintf("%s-%02d", *category, i+1))
+			if err := writeData(sub, sc); err != nil {
+				return err
+			}
+		}
 		reg.Counter("gen_workflows_total", "category", *category).Inc()
 		reg.Counter("gen_activities_total", "category", *category).Add(int64(len(sc.Graph.Activities())))
 		reg.Counter("gen_nodes_total", "category", *category).Add(int64(sc.Graph.Len()))
@@ -80,4 +99,37 @@ func run() error {
 		fmt.Printf("metrics snapshot written to %s\n", *metrics)
 	}
 	return nil
+}
+
+// writeData materializes the scenario's source and lookup rows as CSV
+// record files named like etlrun's binding convention
+// (<dir>/<recordset>.csv), truncating any file left by a previous run.
+func writeData(dir string, sc *templates.Scenario) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(bindings map[string]data.Rows) error {
+		names := make([]string, 0, len(bindings))
+		for name := range bindings {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			path := filepath.Join(dir, strings.ReplaceAll(name, string(filepath.Separator), "_")+".csv")
+			os.Remove(path)
+			rs, err := data.NewFileRecordset(name, sc.Schemas[name], path)
+			if err != nil {
+				return err
+			}
+			if err := rs.Load(bindings[name]); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s (%d rows)\n", path, len(bindings[name]))
+		}
+		return nil
+	}
+	if err := write(sc.Sources); err != nil {
+		return err
+	}
+	return write(sc.Lookups)
 }

@@ -44,7 +44,7 @@ func run() error {
 		algo      = flag.String("algo", "hs", "search algorithm: es, hs or greedy")
 		maxStates = flag.Int("maxstates", 0, "state generation budget (0 = default)")
 		workers   = flag.Int("workers", 0, "search parallelism (0 = all CPUs, 1 = sequential; same result either way)")
-		timeout   = flag.Duration("timeout", 0, "wall-clock budget (0 = none)")
+		timeout   = flag.Duration("timeout", 0, "abort the search after this long (0 = none)")
 		out       = flag.String("out", "", "write the optimized workflow definition here")
 		verbose   = flag.Bool("verbose", false, "print both workflow graphs")
 		lintOnly  = flag.Bool("lint", false, "run the design checks and exit (warnings exit nonzero)")
@@ -102,10 +102,14 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "debug server on http://%s (/, /metrics, /metrics.json)\n", bound)
 	}
 
+	if *timeout > 0 {
+		var cancelTimeout context.CancelFunc
+		ctx, cancelTimeout = context.WithTimeout(ctx, *timeout)
+		defer cancelTimeout()
+	}
 	opts := core.Options{
 		MaxStates:       *maxStates,
 		Workers:         *workers,
-		Timeout:         *timeout,
 		IncrementalCost: true,
 		Trace:           *tracePath != "",
 		Metrics:         reg,

@@ -7,9 +7,16 @@
 //
 // Usage:
 //
-//	etlrun -in workflow.etl -data ./data [-optimize hs|greedy|es]
-//	       [-mode pipelined] [-checkpoint ./stage] [-impact NODE]
+//	etlrun -in workflow.etl -data ./data [-optimize hs|greedy|es] [-workers N]
+//	       [-mode materialized|pipelined|parallel] [-partitions P]
+//	       [-checkpoint ./stage] [-impact NODE]
 //	       [-metrics snap.json] [-debug-addr localhost:6060] [-progress 1s]
+//
+// Flag vocabulary (shared across etlrun, etlopt and etlbench): -workers
+// controls optimizer search parallelism (goroutines expanding the state
+// space), while -partitions controls engine data parallelism (how many
+// ways each recordset is split in -mode parallel). They are independent
+// knobs for independent phases.
 package main
 
 import (
@@ -45,7 +52,9 @@ func run() error {
 		in         = flag.String("in", "", "workflow definition file")
 		dataDir    = flag.String("data", ".", "directory of <name>.csv record files")
 		optimize   = flag.String("optimize", "", "optimize first: es, hs or greedy")
-		mode       = flag.String("mode", "materialized", "execution mode: materialized or pipelined")
+		workers    = flag.Int("workers", 0, "optimizer search parallelism: worker goroutines for -optimize (0 = GOMAXPROCS)")
+		mode       = flag.String("mode", "materialized", "execution mode: materialized, pipelined or parallel")
+		partitions = flag.Int("partitions", 0, "engine data parallelism: partitions per recordset in -mode parallel (0 = GOMAXPROCS)")
 		checkpoint = flag.String("checkpoint", "", "staging directory for resumable execution")
 		impact     = flag.String("impact", "", "print the impact analysis of the named recordset and exit")
 		lintOnly   = flag.Bool("lint", false, "run the design checks and exit (warnings exit nonzero)")
@@ -103,7 +112,7 @@ func run() error {
 
 	if *optimize != "" {
 		var res *core.Result
-		opts := core.Options{IncrementalCost: true, MaxStates: 30_000, Metrics: reg}
+		opts := core.Options{IncrementalCost: true, MaxStates: 30_000, Metrics: reg, Workers: *workers}
 		if *progress > 0 {
 			opts.Progress = os.Stderr
 			opts.ProgressInterval = *progress
@@ -137,10 +146,13 @@ func run() error {
 		engineMode = engine.Materialized
 	case "pipelined":
 		engineMode = engine.Pipelined
+	case "parallel":
+		engineMode = engine.Parallel
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
-	e := engine.New(bindings, engine.WithMode(engineMode), engine.WithMetrics(reg))
+	e := engine.New(bindings, engine.WithMode(engineMode), engine.WithMetrics(reg),
+		engine.WithPartitions(*partitions))
 
 	var result *engine.RunResult
 	if *checkpoint != "" {

@@ -52,14 +52,6 @@ type Options struct {
 	// stay on one goroutine in a fixed order (lowest cost first, ties
 	// broken by signature).
 	Workers int
-	// Timeout bounds wall-clock time; 0 means no limit. It is implemented
-	// as a context.WithTimeout derived from the caller's context, and the
-	// search stops gracefully (Terminated=false) when it fires.
-	//
-	// Deprecated: pass a context with a deadline to Exhaustive, Heuristic
-	// or HSGreedy instead; a cancelled or expired caller context aborts
-	// the search with ctx.Err().
-	Timeout time.Duration
 	// MergeConstraints lists activity pairs to merge during HS
 	// pre-processing (Heuristic 3), by node ID in the initial state. The
 	// merges are split again after the search.
@@ -196,8 +188,6 @@ type state struct {
 type search struct {
 	opts    Options
 	ctx     context.Context // the caller's context: cancellation aborts with ctx.Err()
-	runCtx  context.Context // ctx plus the deprecated Options.Timeout deadline
-	cancel  context.CancelFunc
 	pool    *pool
 	visited *visitedSet
 	count   int // generation attempts (budget)
@@ -226,8 +216,6 @@ func newSearch(ctx context.Context, opts Options) *search {
 	s := &search{
 		opts:    opts,
 		ctx:     ctx,
-		runCtx:  ctx,
-		cancel:  func() {},
 		pool:    newPool(opts.Workers),
 		visited: newVisitedSet(),
 		model:   opts.Model,
@@ -244,9 +232,6 @@ func newSearch(ctx context.Context, opts Options) *search {
 		}
 	}
 	s.pool.busy = s.m.busyHook()
-	if opts.Timeout > 0 {
-		s.runCtx, s.cancel = context.WithTimeout(ctx, opts.Timeout)
-	}
 	return s
 }
 
@@ -294,15 +279,13 @@ func (s *search) budgetLeft() bool {
 	if s.count >= s.opts.MaxStates {
 		return false
 	}
-	if s.runCtx.Err() != nil {
+	if s.ctx.Err() != nil {
 		return false
 	}
 	return true
 }
 
-// aborted returns the caller's cancellation error, if any. A fired
-// Options.Timeout is not an abort — the search then returns its best
-// state with Terminated=false, as it always has.
+// aborted returns the caller's cancellation error, if any.
 func (s *search) aborted() error {
 	return s.ctx.Err()
 }

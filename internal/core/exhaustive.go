@@ -130,8 +130,8 @@ func (s *search) precost(cur *state, exps []*transitions.Result) []candidate {
 // order, so the result is identical for every worker count.
 //
 // A cancelled ctx aborts the search at the next expansion boundary and
-// returns ctx.Err(); the deprecated Options.Timeout instead stops it
-// gracefully with Terminated=false.
+// returns ctx.Err(); a context deadline is the supported way to bound
+// wall-clock time.
 func Exhaustive(ctx context.Context, g0 *workflow.Graph, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	start := time.Now()

@@ -431,7 +431,7 @@ func (s *search) groupFull(base *state, members map[workflow.NodeID]bool, out *g
 	frontier := []*groupState{best}
 	localSeen := map[string]bool{base.sig: true, best.st.sig: true}
 	generated := 0
-	for len(frontier) > 0 && s.runCtx.Err() == nil && generated < s.opts.GroupCap {
+	for len(frontier) > 0 && s.ctx.Err() == nil && generated < s.opts.GroupCap {
 		cur := frontier[0]
 		frontier = frontier[1:]
 		for _, pair := range adjacentPairs(cur.st.g, members) {
@@ -459,7 +459,7 @@ func (s *search) groupFull(base *state, members map[workflow.NodeID]bool, out *g
 				best = gs2
 			}
 			frontier = append(frontier, gs2)
-			if generated >= s.opts.GroupCap || s.runCtx.Err() != nil {
+			if generated >= s.opts.GroupCap || s.ctx.Err() != nil {
 				break
 			}
 		}
@@ -477,7 +477,7 @@ func (s *search) groupFull(base *state, members map[workflow.NodeID]bool, out *g
 func (s *search) groupGreedy(base *state, members map[workflow.NodeID]bool, out *groupOutcome) *groupState {
 	cur := &groupState{st: base}
 	for _, pair := range adjacentPairs(cur.st.g, members) {
-		if s.runCtx.Err() != nil {
+		if s.ctx.Err() != nil {
 			break
 		}
 		s.m.attempt("SWA")

@@ -185,11 +185,10 @@ func (s *search) startProgress(alg string) {
 }
 
 // close releases the search's run-scoped resources: the progress emitter
-// (flushing a final line) and the deprecated-timeout context.
+// (flushing a final line).
 func (s *search) close() {
 	if s.stopProgress != nil {
 		s.stopProgress()
 		s.stopProgress = nil
 	}
-	s.cancel()
 }

@@ -99,23 +99,6 @@ func TestSearchCancellation(t *testing.T) {
 	}
 }
 
-// TestDeprecatedTimeoutStillGraceful pins the compatibility behaviour of
-// Options.Timeout: unlike a caller deadline, it stops the search without
-// an error and reports Terminated=false.
-func TestDeprecatedTimeoutStillGraceful(t *testing.T) {
-	sc, err := generator.Generate(generator.CategoryConfig(generator.Large, 5))
-	if err != nil {
-		t.Fatal(err)
-	}
-	res, err := Exhaustive(context.Background(), sc.Graph, Options{Timeout: 100 * time.Millisecond, IncrementalCost: true})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Terminated {
-		t.Error("large workflow cannot close in 100ms")
-	}
-}
-
 // TestVisitedSet covers the striped set directly.
 func TestVisitedSet(t *testing.T) {
 	v := newVisitedSet()

@@ -175,3 +175,43 @@ func TestSortRows(t *testing.T) {
 		}
 	}
 }
+
+func TestSplitRoundRobin(t *testing.T) {
+	rows := make(Rows, 11)
+	for i := range rows {
+		rows[i] = Record{NewInt(int64(i))}
+	}
+	for _, n := range []int{1, 2, 3, 11, 20} {
+		parts := rows.SplitRoundRobin(n)
+		if len(parts) != n {
+			t.Fatalf("n=%d: got %d partitions", n, len(parts))
+		}
+		// Row i must sit in partition i mod n, in order.
+		for p, part := range parts {
+			for j, r := range part {
+				if want := int64(p + j*n); r[0].Int() != want {
+					t.Fatalf("n=%d partition %d slot %d = %v, want %d", n, p, j, r, want)
+				}
+			}
+		}
+		back := InterleaveRoundRobin(parts)
+		if len(back) != len(rows) {
+			t.Fatalf("n=%d: round trip lost rows: %d != %d", n, len(back), len(rows))
+		}
+		for i := range rows {
+			if back[i].Key() != rows[i].Key() {
+				t.Fatalf("n=%d: round trip reordered row %d", n, i)
+			}
+		}
+	}
+	// Degenerate counts clamp to one partition.
+	if parts := rows.SplitRoundRobin(0); len(parts) != 1 || len(parts[0]) != len(rows) {
+		t.Errorf("n=0 should clamp to a single full partition")
+	}
+	if parts := Rows(nil).SplitRoundRobin(4); len(parts) != 4 {
+		t.Errorf("empty rows should still yield 4 empty partitions")
+	}
+	if got := InterleaveRoundRobin(nil); got != nil {
+		t.Errorf("InterleaveRoundRobin(nil) = %v, want nil", got)
+	}
+}

@@ -30,7 +30,7 @@ func runBinary(t *testing.T, mode Mode, lSchema, rSchema data.Schema, lRows, rRo
 	e := New(map[string]data.Recordset{
 		"L": data.NewMemoryRecordset("L", lSchema).MustLoad(lRows),
 		"R": data.NewMemoryRecordset("R", rSchema).MustLoad(rRows),
-	}, WithMode(mode), WithBatchSize(2))
+	}, WithMode(mode), WithBatchSize(2), WithPartitions(3))
 	res, err := e.Run(context.Background(), g)
 	if err != nil {
 		t.Fatal(err)

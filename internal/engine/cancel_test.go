@@ -17,7 +17,7 @@ func TestRunCancelled(t *testing.T) {
 	for _, mode := range []struct {
 		name string
 		mode Mode
-	}{{"materialized", Materialized}, {"pipelined", Pipelined}} {
+	}{{"materialized", Materialized}, {"pipelined", Pipelined}, {"parallel", Parallel}} {
 		t.Run(mode.name, func(t *testing.T) {
 			res, err := New(sc.Bind(), WithMode(mode.mode)).Run(ctx, sc.Graph)
 			if !errors.Is(err, context.Canceled) {

@@ -1,11 +1,15 @@
 // Package engine executes ETL workflows over real records. The paper
 // treats workflows as operational processes run in a nightly time window;
-// this package is that runtime substrate. Two execution modes are
+// this package is that runtime substrate. Three execution modes are
 // provided: a materialized mode that evaluates nodes in topological order
-// (deterministic, easy to debug) and a pipelined mode that runs every
+// (deterministic, easy to debug), a pipelined mode that runs every
 // activity as a goroutine connected by channels, matching the paper's
 // observation that activities "are allowed to output data to one another"
-// without intermediate data stores.
+// without intermediate data stores, and a partition-parallel mode that
+// splits every recordset across P partitions and executes each activity
+// partition by partition, exchanging rows by key where an operator's
+// semantics demand it (see parallel.go). All three modes produce
+// bit-identical target rows.
 //
 // Beyond running workflows, the engine is the empirical half of the
 // correctness framework: two states are equivalent when, on the same
@@ -36,6 +40,12 @@ const (
 	// channels; blocking operations (aggregations, duplicate checks,
 	// difference) buffer internally as needed.
 	Pipelined
+	// Parallel partitions every recordset across P partition workers,
+	// executes order-preserving operators partition-locally, repartitions
+	// by key for key-sensitive operators, and merges partitions with an
+	// order-stable reduce so output is bit-identical to Materialized at
+	// any partition count. See WithPartitions.
+	Parallel
 )
 
 // Engine executes workflows against bound recordsets.
@@ -43,9 +53,15 @@ type Engine struct {
 	mode     Mode
 	bindings map[string]data.Recordset
 	batch    int
+	// partitions is Parallel mode's worker count; 0 means GOMAXPROCS.
+	partitions int
 	// metrics, when non-nil, receives the engine's observability series
 	// (see WithMetrics); nil disables collection.
 	metrics *obs.Registry
+	// lookups, when non-nil, is a run-scoped shared cache of materialized
+	// surrogate-key/lookup tables: Parallel mode builds each table once and
+	// every partition references the same read-only map.
+	lookups *lookupCache
 }
 
 // Option configures an Engine.
@@ -59,6 +75,17 @@ func WithBatchSize(n int) Option {
 	return func(e *Engine) {
 		if n > 0 {
 			e.batch = n
+		}
+	}
+}
+
+// WithPartitions sets Parallel mode's partition count (default: the
+// number of CPUs). Any count produces bit-identical output; the count
+// only affects how the work is spread. Ignored by the other modes.
+func WithPartitions(n int) Option {
+	return func(e *Engine) {
+		if n > 0 {
+			e.partitions = n
 		}
 	}
 }
@@ -93,9 +120,9 @@ type RunResult struct {
 
 // Run executes the workflow and returns the loaded target rows. The graph
 // must be validated and have regenerated schemata. Cancelling ctx stops
-// the run at the next node (materialized mode) or batch (pipelined mode)
-// boundary and returns ctx.Err(); rows already loaded into bound targets
-// stay loaded.
+// the run at the next node (materialized and parallel modes) or batch
+// (pipelined mode) boundary and returns an error wrapping ctx.Err(); rows
+// already loaded into bound targets stay loaded.
 func (e *Engine) Run(ctx context.Context, g *workflow.Graph) (*RunResult, error) {
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
@@ -106,7 +133,11 @@ func (e *Engine) Run(ctx context.Context, g *workflow.Graph) (*RunResult, error)
 		err      error
 		modeName string
 	)
-	rm := e.newRunMetrics(g)
+	partitions := 0
+	if e.mode == Parallel {
+		partitions = e.partitionCount()
+	}
+	rm := e.newRunMetrics(g, partitions)
 	switch e.mode {
 	case Materialized:
 		modeName = "materialized"
@@ -117,6 +148,11 @@ func (e *Engine) Run(ctx context.Context, g *workflow.Graph) (*RunResult, error)
 		modeName = "pipelined"
 		span := e.metrics.StartSpan("engine/pipelined")
 		res, err = e.runPipelined(ctx, g, rm)
+		span.End()
+	case Parallel:
+		modeName = "parallel"
+		span := e.metrics.StartSpan("engine/parallel")
+		res, err = e.runParallel(ctx, g, rm)
 		span.End()
 	default:
 		return nil, fmt.Errorf("engine: unknown mode %d", e.mode)
@@ -244,8 +280,17 @@ func (e *Engine) projectForTarget(rows data.Rows, src, target data.Schema) data.
 
 // lookupTable materializes a surrogate-key lookup binding as a map from
 // production-key value to surrogate value. The lookup recordset's first
-// attribute is the production key, its second the surrogate.
+// attribute is the production key, its second the surrogate. When the
+// engine carries a run-scoped lookup cache (Parallel mode), the table is
+// built once and shared read-only by every partition.
 func (e *Engine) lookupTable(name string) (map[string]data.Value, error) {
+	if e.lookups != nil {
+		return e.lookups.table(name, e.buildLookupTable)
+	}
+	return e.buildLookupTable(name)
+}
+
+func (e *Engine) buildLookupTable(name string) (map[string]data.Value, error) {
 	rs, ok := e.bindings[name]
 	if !ok {
 		return nil, fmt.Errorf("lookup recordset %q not bound", name)
@@ -264,9 +309,17 @@ func (e *Engine) lookupTable(name string) (map[string]data.Value, error) {
 	return m, nil
 }
 
-// keySet materializes a lookup binding as the set of its first-attribute
-// values (for lookup-based primary-key checks).
+// keySet materializes a lookup binding as the set of its row keys (for
+// lookup-based primary-key checks), sharing the run-scoped cache when one
+// is attached.
 func (e *Engine) keySet(name string) (map[string]bool, error) {
+	if e.lookups != nil {
+		return e.lookups.set(name, e.buildKeySet)
+	}
+	return e.buildKeySet(name)
+}
+
+func (e *Engine) buildKeySet(name string) (map[string]bool, error) {
 	rs, ok := e.bindings[name]
 	if !ok {
 		return nil, fmt.Errorf("lookup recordset %q not bound", name)

@@ -70,21 +70,49 @@ func realign(rows data.Rows, src, dst data.Schema) data.Rows {
 	return out
 }
 
-func (e *Engine) execFilter(a *workflow.Activity, schema data.Schema, rows data.Rows) (data.Rows, error) {
+// The filtering operators below are written as mask producers: each
+// returns keep[i] for row i, and the caller applies the mask. This split
+// is what lets the parallel engine reuse the exact materialized-mode
+// semantics on a partition while carrying each survivor's sequence tag
+// through (parallel.go): a mask identifies *which* rows survive, which a
+// plain filtered slice cannot.
+
+// applyMask collects the rows whose mask entry is true, sharing records.
+func applyMask(rows data.Rows, keep []bool) data.Rows {
 	var out data.Rows
-	for _, r := range rows {
+	for i, k := range keep {
+		if k {
+			out = append(out, rows[i])
+		}
+	}
+	return out
+}
+
+// Partition contract (filter): per-row and order-preserving, so it runs
+// partition-locally on any partitioning.
+func maskFilter(a *workflow.Activity, schema data.Schema, rows data.Rows) ([]bool, error) {
+	keep := make([]bool, len(rows))
+	for i, r := range rows {
 		v, err := a.Sem.Pred.Eval(schema, r)
 		if err != nil {
 			return nil, err
 		}
-		if v.Bool() {
-			out = append(out, r)
-		}
+		keep[i] = v.Bool()
 	}
-	return out, nil
+	return keep, nil
 }
 
-func (e *Engine) execNotNull(a *workflow.Activity, schema data.Schema, rows data.Rows) (data.Rows, error) {
+func (e *Engine) execFilter(a *workflow.Activity, schema data.Schema, rows data.Rows) (data.Rows, error) {
+	keep, err := maskFilter(a, schema, rows)
+	if err != nil {
+		return nil, err
+	}
+	return applyMask(rows, keep), nil
+}
+
+// Partition contract (notnull): per-row and order-preserving — partition
+// local.
+func maskNotNull(a *workflow.Activity, schema data.Schema, rows data.Rows) ([]bool, error) {
 	positions := make([]int, len(a.Sem.Attrs))
 	for i, attr := range a.Sem.Attrs {
 		p := schema.Index(attr)
@@ -93,20 +121,26 @@ func (e *Engine) execNotNull(a *workflow.Activity, schema data.Schema, rows data
 		}
 		positions[i] = p
 	}
-	var out data.Rows
-	for _, r := range rows {
-		keep := true
+	keep := make([]bool, len(rows))
+	for i, r := range rows {
+		k := true
 		for _, p := range positions {
 			if r[p].IsNull() {
-				keep = false
+				k = false
 				break
 			}
 		}
-		if keep {
-			out = append(out, r)
-		}
+		keep[i] = k
 	}
-	return out, nil
+	return keep, nil
+}
+
+func (e *Engine) execNotNull(a *workflow.Activity, schema data.Schema, rows data.Rows) (data.Rows, error) {
+	keep, err := maskNotNull(a, schema, rows)
+	if err != nil {
+		return nil, err
+	}
+	return applyMask(rows, keep), nil
 }
 
 // execPKCheck enforces a primary key. Lookup-based checks (Sem.Lookup set)
@@ -115,63 +149,80 @@ func (e *Engine) execNotNull(a *workflow.Activity, schema data.Schema, rows data
 // a key group with more than one member, which is likewise insensitive to
 // input order (a requirement for transition correctness).
 func (e *Engine) execPKCheck(a *workflow.Activity, schema data.Schema, rows data.Rows) (data.Rows, error) {
-	positions := make([]int, len(a.Sem.Attrs))
-	for i, attr := range a.Sem.Attrs {
-		p := schema.Index(attr)
-		if p < 0 {
-			return nil, fmt.Errorf("pkcheck: attribute %q not in schema {%s}", attr, schema)
-		}
-		positions[i] = p
-	}
-	keyOf := func(r data.Record) string {
-		var b strings.Builder
-		for i, p := range positions {
-			if i > 0 {
-				b.WriteByte('\x1f')
-			}
-			b.WriteString(r[p].Key())
-		}
-		return b.String()
-	}
-	var out data.Rows
+	var keep []bool
+	var err error
 	if a.Sem.Lookup != "" {
-		existing, err := e.keySet(a.Sem.Lookup)
-		if err != nil {
-			return nil, fmt.Errorf("pkcheck: %w", err)
-		}
-		for _, r := range rows {
-			if !existing[keyOf(r)] {
-				out = append(out, r)
-			}
-		}
-		return out, nil
+		keep, err = e.maskPKCheckLookup(a, schema, rows)
+	} else {
+		keep, err = maskPKCheckGroup(a, schema, rows)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return applyMask(rows, keep), nil
+}
+
+// Partition contract (pkcheck, lookup-based): per-row against a read-only
+// key set — partition local; the parallel engine shares one cached set
+// across partitions.
+func (e *Engine) maskPKCheckLookup(a *workflow.Activity, schema data.Schema, rows data.Rows) ([]bool, error) {
+	keyOf, err := rowKeyFn(schema, a.Sem.Attrs, "pkcheck")
+	if err != nil {
+		return nil, err
+	}
+	existing, err := e.keySet(a.Sem.Lookup)
+	if err != nil {
+		return nil, fmt.Errorf("pkcheck: %w", err)
+	}
+	keep := make([]bool, len(rows))
+	for i, r := range rows {
+		keep[i] = !existing[keyOf(r)]
+	}
+	return keep, nil
+}
+
+// Partition contract (pkcheck, group-based): needs every row of a key
+// group in one place, so the parallel engine exchanges rows by key tuple
+// first; partition-local counts are then global counts.
+func maskPKCheckGroup(a *workflow.Activity, schema data.Schema, rows data.Rows) ([]bool, error) {
+	keyOf, err := rowKeyFn(schema, a.Sem.Attrs, "pkcheck")
+	if err != nil {
+		return nil, err
 	}
 	counts := make(map[string]int, len(rows))
 	for _, r := range rows {
 		counts[keyOf(r)]++
 	}
-	for _, r := range rows {
-		if counts[keyOf(r)] == 1 {
-			out = append(out, r)
-		}
+	keep := make([]bool, len(rows))
+	for i, r := range rows {
+		keep[i] = counts[keyOf(r)] == 1
 	}
-	return out, nil
+	return keep, nil
 }
 
 // execDistinct removes exact duplicate records, keeping the first
 // occurrence of each distinct record. Because survivors are identical to
 // their duplicates, the output multiset is independent of input order.
+//
+// Partition contract: all copies of a record must meet, so the parallel
+// engine exchanges by full record key; first-occurrence-within-partition
+// (by sequence tag) then equals first occurrence globally.
 func (e *Engine) execDistinct(rows data.Rows) (data.Rows, error) {
+	return applyMask(rows, maskDistinct(rows)), nil
+}
+
+// maskDistinct keeps the first occurrence of each distinct record.
+func maskDistinct(rows data.Rows) []bool {
 	seen := make(map[string]bool, len(rows))
-	var out data.Rows
-	for _, r := range rows {
+	keep := make([]bool, len(rows))
+	for i, r := range rows {
 		k := r.Key()
 		if !seen[k] {
 			seen[k] = true
-			out = append(out, r)
+			keep[i] = true
 		}
 	}
-	return out, nil
+	return keep
 }
 
 func (e *Engine) execProject(in, out data.Schema, rows data.Rows) (data.Rows, error) {
@@ -228,6 +279,14 @@ type aggState struct {
 	order int // first-seen order for deterministic output
 }
 
+// execAggregate groups rows by the grouper attributes and folds the
+// aggregate. Output order is first-seen group order, which makes the
+// result order-sensitive in a controlled way.
+//
+// Partition contract: a group's rows must be co-located, so the parallel
+// engine exchanges by grouper tuple; each group's output row then carries
+// the sequence tag of the group's first input row, restoring global
+// first-seen order at the merge.
 func (e *Engine) execAggregate(a *workflow.Activity, in, out data.Schema, rows data.Rows) (data.Rows, error) {
 	groupPos := make([]int, 0, len(a.Sem.Attrs))
 	for _, attr := range a.Sem.Attrs {
@@ -390,6 +449,51 @@ func (e *Engine) execUnion(in []data.Schema, out data.Schema, inputs []data.Rows
 	return res, nil
 }
 
+// joinLayout precomputes how one joined output record is assembled from a
+// left and a right record: for each output attribute, which side supplies
+// it and at what position (-1 means neither side has it — NULL).
+type joinLayout struct {
+	fromLeft []bool
+	pos      []int
+}
+
+func newJoinLayout(out, left, right data.Schema) joinLayout {
+	jl := joinLayout{fromLeft: make([]bool, len(out)), pos: make([]int, len(out))}
+	for i, attr := range out {
+		if p := left.Index(attr); p >= 0 {
+			jl.fromLeft[i] = true
+			jl.pos[i] = p
+		} else {
+			jl.pos[i] = right.Index(attr) // -1 when absent on both sides
+		}
+	}
+	return jl
+}
+
+// row assembles one output record, preferring left values (the layout
+// already encoded the preference at construction).
+func (jl joinLayout) row(l, r data.Record) data.Record {
+	rec := make(data.Record, len(jl.pos))
+	for i, p := range jl.pos {
+		switch {
+		case p < 0:
+			rec[i] = data.Null
+		case jl.fromLeft[i]:
+			rec[i] = l[p]
+		default:
+			rec[i] = r[p]
+		}
+	}
+	return rec
+}
+
+// execJoin hash-joins the inputs on the key attributes. Output order is
+// left order, then right-input match order within a left row.
+//
+// Partition contract: both inputs are exchanged by the join key tuple, so
+// every matching pair is co-located; the parallel engine tags each output
+// row with its (left seq, right seq) pair and merges partitions in that
+// lexicographic order, reproducing this nested-loop order exactly.
 func (e *Engine) execJoin(a *workflow.Activity, in []data.Schema, out data.Schema, inputs []data.Rows) (data.Rows, error) {
 	leftKey, err := keyPositions(in[0], a.Sem.Attrs)
 	if err != nil {
@@ -404,67 +508,72 @@ func (e *Engine) execJoin(a *workflow.Activity, in []data.Schema, out data.Schem
 	for _, r := range inputs[1] {
 		index[tupleKey(r, rightKey)] = append(index[tupleKey(r, rightKey)], r)
 	}
+	jl := newJoinLayout(out, in[0], in[1])
 	var res data.Rows
 	for _, l := range inputs[0] {
 		for _, r := range index[tupleKey(l, leftKey)] {
-			rec := make(data.Record, len(out))
-			for i, attr := range out {
-				if p := in[0].Index(attr); p >= 0 {
-					rec[i] = l[p]
-				} else if p := in[1].Index(attr); p >= 0 {
-					rec[i] = r[p]
-				} else {
-					rec[i] = data.Null
-				}
-			}
-			res = append(res, rec)
+			res = append(res, jl.row(l, r))
 		}
 	}
 	return res, nil
+}
+
+// maskKeyPresence marks the left rows whose key tuple does (keepPresent)
+// or does not (!keepPresent) appear among the right rows' key tuples —
+// the shared core of difference and intersection.
+//
+// Partition contract (diff/intersect): both inputs are exchanged by key
+// tuple, so a left row and every right row that could veto or admit it
+// share a partition; survivors keep their left sequence tags.
+func maskKeyPresence(a *workflow.Activity, in []data.Schema, left, right data.Rows, keepPresent bool) ([]bool, error) {
+	leftKey, err := keyPositions(in[0], a.Sem.Attrs)
+	if err != nil {
+		return nil, err
+	}
+	rightKey, err := keyPositions(in[1], a.Sem.Attrs)
+	if err != nil {
+		return nil, err
+	}
+	present := make(map[string]bool, len(right))
+	for _, r := range right {
+		present[tupleKey(r, rightKey)] = true
+	}
+	keep := make([]bool, len(left))
+	for i, l := range left {
+		keep[i] = present[tupleKey(l, leftKey)] == keepPresent
+	}
+	return keep, nil
 }
 
 func (e *Engine) execDiff(a *workflow.Activity, in []data.Schema, inputs []data.Rows) (data.Rows, error) {
-	leftKey, err := keyPositions(in[0], a.Sem.Attrs)
+	keep, err := maskKeyPresence(a, in, inputs[0], inputs[1], false)
 	if err != nil {
 		return nil, err
 	}
-	rightKey, err := keyPositions(in[1], a.Sem.Attrs)
-	if err != nil {
-		return nil, err
-	}
-	present := make(map[string]bool, len(inputs[1]))
-	for _, r := range inputs[1] {
-		present[tupleKey(r, rightKey)] = true
-	}
-	var res data.Rows
-	for _, l := range inputs[0] {
-		if !present[tupleKey(l, leftKey)] {
-			res = append(res, l)
-		}
-	}
-	return res, nil
+	return applyMask(inputs[0], keep), nil
 }
 
 func (e *Engine) execIntersect(a *workflow.Activity, in []data.Schema, inputs []data.Rows) (data.Rows, error) {
-	leftKey, err := keyPositions(in[0], a.Sem.Attrs)
+	keep, err := maskKeyPresence(a, in, inputs[0], inputs[1], true)
 	if err != nil {
 		return nil, err
 	}
-	rightKey, err := keyPositions(in[1], a.Sem.Attrs)
-	if err != nil {
-		return nil, err
-	}
-	present := make(map[string]bool, len(inputs[1]))
-	for _, r := range inputs[1] {
-		present[tupleKey(r, rightKey)] = true
-	}
-	var res data.Rows
-	for _, l := range inputs[0] {
-		if present[tupleKey(l, leftKey)] {
-			res = append(res, l)
+	return applyMask(inputs[0], keep), nil
+}
+
+// rowKeyFn resolves attrs against schema once and returns a closure
+// computing the canonical key tuple of a record. op names the operator in
+// the resolution error.
+func rowKeyFn(schema data.Schema, attrs []string, op string) (func(data.Record) string, error) {
+	positions := make([]int, len(attrs))
+	for i, a := range attrs {
+		p := schema.Index(a)
+		if p < 0 {
+			return nil, fmt.Errorf("%s: attribute %q not in schema {%s}", op, a, schema)
 		}
+		positions[i] = p
 	}
-	return res, nil
+	return func(r data.Record) string { return tupleKey(r, positions) }, nil
 }
 
 func keyPositions(schema data.Schema, attrs []string) ([]int, error) {

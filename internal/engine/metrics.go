@@ -23,6 +23,11 @@ type runMetrics struct {
 	rowsOut      map[workflow.NodeID]*obs.Counter   // engine_rows_out_total{node}
 	nodeSec      map[workflow.NodeID]*obs.Histogram // engine_node_seconds{node}
 	backpressure map[workflow.NodeID]*obs.Counter   // engine_backpressure_waits_total{node}
+
+	// Parallel-mode series, allocated only when partitions > 0.
+	partRows  map[workflow.NodeID][]*obs.Counter // engine_partition_rows_out_total{node,partition}
+	partBusy  []*obs.Gauge                       // engine_partition_busy_seconds{partition}
+	exchanged map[workflow.NodeID]*obs.Counter   // engine_exchange_rows_total{node}
 }
 
 // nodeKey renders the per-node metric label: the node ID plus its
@@ -32,8 +37,9 @@ func nodeKey(id workflow.NodeID, n *workflow.Node) string {
 }
 
 // newRunMetrics prefetches handles for every node of the graph; nil when
-// the engine has no registry.
-func (e *Engine) newRunMetrics(g *workflow.Graph) *runMetrics {
+// the engine has no registry. partitions > 0 (Parallel mode) additionally
+// prefetches the per-partition and exchange series.
+func (e *Engine) newRunMetrics(g *workflow.Graph, partitions int) *runMetrics {
 	if e.metrics == nil {
 		return nil
 	}
@@ -42,12 +48,31 @@ func (e *Engine) newRunMetrics(g *workflow.Graph) *runMetrics {
 		nodeSec:      make(map[workflow.NodeID]*obs.Histogram),
 		backpressure: make(map[workflow.NodeID]*obs.Counter),
 	}
+	if partitions > 0 {
+		m.partRows = make(map[workflow.NodeID][]*obs.Counter)
+		m.partBusy = make([]*obs.Gauge, partitions)
+		m.exchanged = make(map[workflow.NodeID]*obs.Counter)
+		for p := 0; p < partitions; p++ {
+			m.partBusy[p] = e.metrics.Gauge("engine_partition_busy_seconds", "partition", fmt.Sprint(p))
+		}
+	}
 	for _, id := range g.Nodes() {
 		key := nodeKey(id, g.Node(id))
 		m.rowsOut[id] = e.metrics.Counter("engine_rows_out_total", "node", key)
 		m.backpressure[id] = e.metrics.Counter("engine_backpressure_waits_total", "node", key)
 		if g.Node(id).Kind == workflow.KindActivity {
 			m.nodeSec[id] = e.metrics.Histogram("engine_node_seconds", nil, "node", key)
+		}
+		if partitions > 0 {
+			handles := make([]*obs.Counter, partitions)
+			for p := 0; p < partitions; p++ {
+				handles[p] = e.metrics.Counter("engine_partition_rows_out_total",
+					"node", key, "partition", fmt.Sprint(p))
+			}
+			m.partRows[id] = handles
+			if g.Node(id).Kind == workflow.KindActivity {
+				m.exchanged[id] = e.metrics.Counter("engine_exchange_rows_total", "node", key)
+			}
 		}
 	}
 	return m
@@ -75,6 +100,34 @@ func (m *runMetrics) stall(id workflow.NodeID) *obs.Counter {
 		return nil
 	}
 	return m.backpressure[id]
+}
+
+// partRow returns the rows-out counter of one partition of a node; nil
+// when metrics or parallel-mode series are disabled.
+func (m *runMetrics) partRow(id workflow.NodeID, p int) *obs.Counter {
+	if m == nil || m.partRows == nil {
+		return nil
+	}
+	if hs := m.partRows[id]; p < len(hs) {
+		return hs[p]
+	}
+	return nil
+}
+
+// busy returns the busy-seconds gauge of one partition worker.
+func (m *runMetrics) busy(p int) *obs.Gauge {
+	if m == nil || p >= len(m.partBusy) {
+		return nil
+	}
+	return m.partBusy[p]
+}
+
+// exchange returns the exchanged-rows counter of a node.
+func (m *runMetrics) exchange(id workflow.NodeID) *obs.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.exchanged[id]
 }
 
 // recordRun exports a completed run's whole-run series: the run counter

@@ -1,0 +1,686 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"time"
+
+	"etlopt/internal/data"
+	"etlopt/internal/workflow"
+)
+
+// This file implements the Parallel execution mode: every recordset is
+// split across P partitions, order-preserving operators run partition by
+// partition with no coordination, and key-sensitive operators repartition
+// their input by key tuple first so that all rows that must meet share a
+// partition.
+//
+// Determinism is carried by sequence tags. Each partitioned row owns an
+// int64 tag with two invariants:
+//
+//  1. tags are strictly increasing within a partition, and
+//  2. sorting all of a node's rows by tag reproduces exactly the row
+//     order the materialized engine would have produced for that node.
+//
+// Source scatter establishes the invariants (row i of a scan gets tag i),
+// every operator preserves them (see the "Partition contract" comments in
+// exec.go), and the final gather is a k-way merge by tag — so the target
+// rows are bit-identical to Materialized mode at any partition count.
+
+// pslice is one partition of a node's output: rows plus their sequence
+// tags, index-aligned. A pslice is immutable once built.
+type pslice struct {
+	rows data.Rows
+	seqs []int64
+}
+
+// pdata is a node's full partitioned output.
+type pdata struct {
+	parts []pslice
+}
+
+func newPdata(p int) *pdata { return &pdata{parts: make([]pslice, p)} }
+
+// total counts the rows across all partitions.
+func (pd *pdata) total() int {
+	n := 0
+	for _, ps := range pd.parts {
+		n += len(ps.rows)
+	}
+	return n
+}
+
+// maxSeq returns the largest tag across all partitions, or -1 when empty.
+func (pd *pdata) maxSeq() int64 {
+	max := int64(-1)
+	for _, ps := range pd.parts {
+		if n := len(ps.seqs); n > 0 && ps.seqs[n-1] > max {
+			// Tags are ascending within a partition, so the last one is
+			// the partition's max.
+			max = ps.seqs[n-1]
+		}
+	}
+	return max
+}
+
+// scatterRows deals rows round-robin into P partitions, tagging row i
+// with sequence i. This is the canonical way fresh (merged-order) rows
+// enter the partitioned world.
+func scatterRows(rows data.Rows, p int) *pdata {
+	parts := rows.SplitRoundRobin(p)
+	pd := &pdata{parts: make([]pslice, len(parts))}
+	for i := range parts {
+		seqs := make([]int64, len(parts[i]))
+		for j := range seqs {
+			seqs[j] = int64(i + j*len(parts))
+		}
+		pd.parts[i] = pslice{rows: parts[i], seqs: seqs}
+	}
+	return pd
+}
+
+// mergeBySeq k-way-merges tagged slices into one slice ordered by
+// ascending tag. Inputs must honour invariant 1; tags are globally
+// unique, so the merge is total.
+func mergeBySeq(parts []pslice) pslice {
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	total := 0
+	for _, ps := range parts {
+		total += len(ps.rows)
+	}
+	out := pslice{rows: make(data.Rows, 0, total), seqs: make([]int64, 0, total)}
+	heads := make([]int, len(parts))
+	for len(out.rows) < total {
+		best := -1
+		for p, ps := range parts {
+			if heads[p] >= len(ps.rows) {
+				continue
+			}
+			if best < 0 || ps.seqs[heads[p]] < parts[best].seqs[heads[best]] {
+				best = p
+			}
+		}
+		out.rows = append(out.rows, parts[best].rows[heads[best]])
+		out.seqs = append(out.seqs, parts[best].seqs[heads[best]])
+		heads[best]++
+	}
+	return out
+}
+
+// gather restores a node's materialized row order (invariant 2).
+func gather(pd *pdata) data.Rows { return mergeBySeq(pd.parts).rows }
+
+// realignPdata re-lays each partition's rows out from schema src to dst,
+// keeping tags; identity when the layouts match. Partitions are realigned
+// concurrently — the projection is pure per-row work.
+func realignPdata(pd *pdata, src, dst data.Schema) *pdata {
+	if src.Equal(dst) {
+		return pd
+	}
+	out := newPdata(len(pd.parts))
+	var wg sync.WaitGroup
+	wg.Add(len(pd.parts))
+	for p := range pd.parts {
+		go func(p int) {
+			defer wg.Done()
+			out.parts[p] = pslice{rows: realign(pd.parts[p].rows, src, dst), seqs: pd.parts[p].seqs}
+		}(p)
+	}
+	wg.Wait()
+	return out
+}
+
+// applyMaskTagged keeps the rows (and tags) selected by an exec.go mask.
+func applyMaskTagged(ps pslice, keep []bool) pslice {
+	n := 0
+	for _, k := range keep {
+		if k {
+			n++
+		}
+	}
+	if n == len(ps.rows) {
+		return ps
+	}
+	out := pslice{rows: make(data.Rows, 0, n), seqs: make([]int64, 0, n)}
+	for i, k := range keep {
+		if k {
+			out.rows = append(out.rows, ps.rows[i])
+			out.seqs = append(out.seqs, ps.seqs[i])
+		}
+	}
+	return out
+}
+
+// hashPartition routes a key tuple to a partition with FNV-1a — a fixed,
+// platform-independent hash, so the partitioning (and therefore every
+// intermediate partition layout) is reproducible across runs and builds.
+func hashPartition(key string, p int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(p))
+}
+
+// lookupCache is the run-scoped shared cache of materialized lookup
+// tables and key sets: the first partition to need a table builds it
+// under the lock, every later request — from any partition — gets the
+// same read-only map.
+type lookupCache struct {
+	mu     sync.Mutex
+	tables map[string]map[string]data.Value
+	sets   map[string]map[string]bool
+}
+
+func newLookupCache() *lookupCache {
+	return &lookupCache{
+		tables: make(map[string]map[string]data.Value),
+		sets:   make(map[string]map[string]bool),
+	}
+}
+
+func (c *lookupCache) table(name string, build func(string) (map[string]data.Value, error)) (map[string]data.Value, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t, ok := c.tables[name]; ok {
+		return t, nil
+	}
+	t, err := build(name)
+	if err != nil {
+		return nil, err
+	}
+	c.tables[name] = t
+	return t, nil
+}
+
+func (c *lookupCache) set(name string, build func(string) (map[string]bool, error)) (map[string]bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s, ok := c.sets[name]; ok {
+		return s, nil
+	}
+	s, err := build(name)
+	if err != nil {
+		return nil, err
+	}
+	c.sets[name] = s
+	return s, nil
+}
+
+// partitionCount resolves the configured partition count; default is the
+// number of CPUs.
+func (e *Engine) partitionCount() int {
+	if e.partitions > 0 {
+		return e.partitions
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// withLookupCache returns a copy of the engine carrying a fresh run-scoped
+// lookup cache. The copy shares the (read-only) bindings and metrics.
+func (e *Engine) withLookupCache() *Engine {
+	ec := *e
+	ec.lookups = newLookupCache()
+	return &ec
+}
+
+// runParallel evaluates the graph node by node in topological order like
+// runMaterialized, but holds every intermediate recordset partitioned and
+// executes each activity across P partition workers.
+func (e *Engine) runParallel(ctx context.Context, g *workflow.Graph, rm *runMetrics) (*RunResult, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	p := e.partitionCount()
+	ec := e.withLookupCache()
+	out := make(map[workflow.NodeID]*pdata, len(order))
+	res := &RunResult{
+		Targets:  make(map[string]data.Rows),
+		NodeRows: make(map[workflow.NodeID]int),
+	}
+	rowsSoFar := 0
+	for _, id := range order {
+		n := g.Node(id)
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("engine: parallel run cancelled before node %d (%s) after %d rows: %w",
+				id, n.Label(), rowsSoFar, err)
+		}
+		count := 0
+		switch n.Kind {
+		case workflow.KindRecordset:
+			preds := g.Providers(id)
+			if len(preds) == 0 {
+				rows, err := ec.scanSource(n)
+				if err != nil {
+					return nil, err
+				}
+				out[id] = scatterRows(rows, p)
+				count = len(rows)
+			} else {
+				// Targets are where the partitioned world ends: merge the
+				// provider's partitions back into materialized order.
+				rows := gather(out[preds[0]])
+				rows = ec.projectForTarget(rows, g.Node(preds[0]).Out, n.RS.Schema)
+				res.Targets[n.RS.Name] = rows
+				if rs, ok := ec.bindings[n.RS.Name]; ok {
+					if err := rs.Load(rows); err != nil {
+						return nil, fmt.Errorf("engine: loading target %s: %w", n.RS.Name, err)
+					}
+				}
+				count = len(rows)
+			}
+		case workflow.KindActivity:
+			pd, err := ec.execParallel(ctx, g, id, n, out, p, rm, rowsSoFar)
+			if err != nil {
+				return nil, err
+			}
+			out[id] = pd
+			count = pd.total()
+			for q, ps := range pd.parts {
+				rm.partRow(id, q).Add(int64(len(ps.rows)))
+			}
+		}
+		res.NodeRows[id] = count
+		rowsSoFar += count
+		rm.rows(id).Add(int64(count))
+	}
+	return res, nil
+}
+
+// forEachPartition runs fn(p) for every partition on its own goroutine,
+// observing per-partition busy time. A context already cancelled when a
+// partition starts yields the parallel cancellation error (node, partition
+// and progress identified); otherwise the lowest-indexed partition error
+// wins, deterministically.
+func (e *Engine) forEachPartition(ctx context.Context, id workflow.NodeID, n *workflow.Node, p int, rm *runMetrics, rowsSoFar int, fn func(q int) error) error {
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for q := 0; q < p; q++ {
+		go func(q int) {
+			defer wg.Done()
+			if err := ctx.Err(); err != nil {
+				errs[q] = fmt.Errorf("engine: parallel run cancelled at node %d (%s) partition %d after %d rows: %w",
+					id, n.Label(), q, rowsSoFar, err)
+				return
+			}
+			start := time.Now()
+			errs[q] = fn(q)
+			rm.busy(q).Add(time.Since(start).Seconds())
+		}(q)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// exchangeByKey repartitions pd so that every row whose key tuple hashes
+// to partition q lands in partition q, preserving tag order within each
+// destination. Rows routed are counted on the node's exchange series.
+func (e *Engine) exchangeByKey(ctx context.Context, id workflow.NodeID, n *workflow.Node, pd *pdata, p int, rm *runMetrics, rowsSoFar int, keyOf func(data.Record) string) (*pdata, error) {
+	if p == 1 {
+		// A single partition already co-locates every key; nothing routes.
+		return pd, nil
+	}
+	// Phase 1, partition-parallel: each source partition deals its rows
+	// into per-destination buckets; buckets inherit ascending tags.
+	buckets := make([][]pslice, p) // [src][dst]
+	err := e.forEachPartition(ctx, id, n, p, rm, rowsSoFar, func(q int) error {
+		dst := make([]pslice, p)
+		ps := pd.parts[q]
+		for i, r := range ps.rows {
+			d := hashPartition(keyOf(r), p)
+			dst[d].rows = append(dst[d].rows, r)
+			dst[d].seqs = append(dst[d].seqs, ps.seqs[i])
+		}
+		buckets[q] = dst
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Phase 2, partition-parallel: each destination merges its p source
+	// buckets by tag, restoring invariant 1.
+	result := newPdata(p)
+	err = e.forEachPartition(ctx, id, n, p, rm, rowsSoFar, func(q int) error {
+		mine := make([]pslice, p)
+		for src := 0; src < p; src++ {
+			mine[src] = buckets[src][q]
+		}
+		result.parts[q] = mergeBySeq(mine)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rm.exchange(id).Add(int64(pd.total()))
+	return result, nil
+}
+
+// execParallel runs one activity over partitioned inputs. Cancellation
+// errors pass through already annotated; any other failure is wrapped
+// with the activity's identity like the materialized path.
+func (e *Engine) execParallel(ctx context.Context, g *workflow.Graph, id workflow.NodeID, n *workflow.Node, out map[workflow.NodeID]*pdata, p int, rm *runMetrics, rowsSoFar int) (*pdata, error) {
+	preds := g.Providers(id)
+	// Align every input to the node's derived input layout up front, so
+	// key resolution and per-partition execution see n.In[i] layouts.
+	inputs := make([]*pdata, len(preds))
+	for i, pr := range preds {
+		inputs[i] = realignPdata(out[pr], g.Node(pr).Out, n.In[i])
+	}
+	pd, err := e.execParallelOp(ctx, id, n, inputs, p, rm, rowsSoFar)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("engine: activity %d (%s): %w", id, n.Label(), err)
+	}
+	return pd, nil
+}
+
+func (e *Engine) execParallelOp(ctx context.Context, id workflow.NodeID, n *workflow.Node, inputs []*pdata, p int, rm *runMetrics, rowsSoFar int) (*pdata, error) {
+	a := n.Act
+	run := func(fn func(q int) error) error {
+		return e.forEachPartition(ctx, id, n, p, rm, rowsSoFar, fn)
+	}
+	if streamable(a) {
+		// Order-preserving unaries run partition-locally; survivors keep
+		// their tags, 1:1 transforms inherit them.
+		in := inputs[0]
+		result := newPdata(p)
+		err := run(func(q int) error {
+			ps, err := e.execLocal(a, n.In[0], n.Out, in.parts[q])
+			if err != nil {
+				return err
+			}
+			result.parts[q] = ps
+			return nil
+		})
+		return result, err
+	}
+	switch a.Sem.Op {
+	case workflow.OpDistinct:
+		// All copies of a record must meet: exchange by full record key.
+		ex, err := e.exchangeByKey(ctx, id, n, inputs[0], p, rm, rowsSoFar, data.Record.Key)
+		if err != nil {
+			return nil, err
+		}
+		result := newPdata(p)
+		err = run(func(q int) error {
+			result.parts[q] = applyMaskTagged(ex.parts[q], maskDistinct(ex.parts[q].rows))
+			return nil
+		})
+		return result, err
+	case workflow.OpPKCheck: // group-based; lookup-based is streamable
+		keyOf, err := rowKeyFn(n.In[0], a.Sem.Attrs, "pkcheck")
+		if err != nil {
+			return nil, err
+		}
+		ex, err := e.exchangeByKey(ctx, id, n, inputs[0], p, rm, rowsSoFar, keyOf)
+		if err != nil {
+			return nil, err
+		}
+		result := newPdata(p)
+		err = run(func(q int) error {
+			keep, err := maskPKCheckGroup(a, n.In[0], ex.parts[q].rows)
+			if err != nil {
+				return err
+			}
+			result.parts[q] = applyMaskTagged(ex.parts[q], keep)
+			return nil
+		})
+		return result, err
+	case workflow.OpAggregate:
+		keyOf, err := rowKeyFn(n.In[0], a.Sem.Attrs, "aggregate")
+		if err != nil {
+			return nil, err
+		}
+		ex, err := e.exchangeByKey(ctx, id, n, inputs[0], p, rm, rowsSoFar, keyOf)
+		if err != nil {
+			return nil, err
+		}
+		result := newPdata(p)
+		err = run(func(q int) error {
+			rows, err := e.execAggregate(a, n.In[0], n.Out, ex.parts[q].rows)
+			if err != nil {
+				return err
+			}
+			// Each group's output row adopts the tag of the group's first
+			// input row; with a group's rows co-located that is its global
+			// first occurrence, so the merge restores first-seen order.
+			result.parts[q] = pslice{rows: rows, seqs: firstSeenSeqs(ex.parts[q], keyOf)}
+			return nil
+		})
+		return result, err
+	case workflow.OpMerged:
+		// A merged package with a blocking component can't split: run it
+		// whole on merged rows and re-scatter.
+		rows, err := e.execMerged(a, n.In[0], gather(inputs[0]))
+		if err != nil {
+			return nil, err
+		}
+		return scatterRows(rows, p), nil
+	case workflow.OpUnion:
+		return e.parUnion(ctx, id, n, inputs, p, rm, rowsSoFar)
+	case workflow.OpJoin:
+		return e.parJoin(ctx, id, n, inputs, p, rm, rowsSoFar)
+	case workflow.OpDiff:
+		return e.parKeyPresence(ctx, id, n, inputs, p, rm, rowsSoFar, false)
+	case workflow.OpIntersect:
+		return e.parKeyPresence(ctx, id, n, inputs, p, rm, rowsSoFar, true)
+	default:
+		return nil, fmt.Errorf("unsupported operation %s", a.Sem.Op)
+	}
+}
+
+// execLocal runs one order-preserving activity on a single partition,
+// carrying tags through: filters keep survivor tags, 1:1 transforms keep
+// all tags, merged packages thread both through their components.
+func (e *Engine) execLocal(a *workflow.Activity, in, out data.Schema, ps pslice) (pslice, error) {
+	switch a.Sem.Op {
+	case workflow.OpFilter:
+		keep, err := maskFilter(a, in, ps.rows)
+		if err != nil {
+			return pslice{}, err
+		}
+		return applyMaskTagged(ps, keep), nil
+	case workflow.OpNotNull:
+		keep, err := maskNotNull(a, in, ps.rows)
+		if err != nil {
+			return pslice{}, err
+		}
+		return applyMaskTagged(ps, keep), nil
+	case workflow.OpPKCheck:
+		keep, err := e.maskPKCheckLookup(a, in, ps.rows)
+		if err != nil {
+			return pslice{}, err
+		}
+		return applyMaskTagged(ps, keep), nil
+	case workflow.OpProject, workflow.OpFunc, workflow.OpSurrogateKey:
+		rows, err := e.execSem(a, []data.Schema{in}, out, []data.Schema{in}, []data.Rows{ps.rows})
+		if err != nil {
+			return pslice{}, err
+		}
+		return pslice{rows: rows, seqs: ps.seqs}, nil
+	case workflow.OpMerged:
+		cur := ps
+		curSchema := in
+		for _, comp := range a.Sem.Components {
+			outSchema, err := componentOutput(comp, curSchema)
+			if err != nil {
+				return pslice{}, err
+			}
+			cur, err = e.execLocal(comp, curSchema, outSchema, cur)
+			if err != nil {
+				return pslice{}, fmt.Errorf("merged component %s: %w", comp.Sem, err)
+			}
+			curSchema = outSchema
+		}
+		return cur, nil
+	default:
+		return pslice{}, fmt.Errorf("internal error: %s is not partition-local", a.Sem.Op)
+	}
+}
+
+// firstSeenSeqs returns, in first-seen key order, the tag of each key
+// group's first row — index-aligned with execAggregate's output, which
+// assigns group output slots in the same first-seen scan order.
+func firstSeenSeqs(ps pslice, keyOf func(data.Record) string) []int64 {
+	seen := make(map[string]bool)
+	var tags []int64
+	for i, r := range ps.rows {
+		k := keyOf(r)
+		if !seen[k] {
+			seen[k] = true
+			tags = append(tags, ps.seqs[i])
+		}
+	}
+	return tags
+}
+
+// parUnion concatenates the inputs partition-wise: left rows keep their
+// tags, right tags are shifted past the left input's global maximum, so
+// the merged order is all left rows then all right rows — the
+// materialized union order.
+func (e *Engine) parUnion(ctx context.Context, id workflow.NodeID, n *workflow.Node, inputs []*pdata, p int, rm *runMetrics, rowsSoFar int) (*pdata, error) {
+	l, r := inputs[0], inputs[1]
+	offset := l.maxSeq() + 1
+	result := newPdata(p)
+	err := e.forEachPartition(ctx, id, n, p, rm, rowsSoFar, func(q int) error {
+		lp, rp := l.parts[q], r.parts[q]
+		rows := make(data.Rows, 0, len(lp.rows)+len(rp.rows))
+		rows = append(rows, realign(lp.rows, n.In[0], n.Out)...)
+		rows = append(rows, realign(rp.rows, n.In[1], n.Out)...)
+		seqs := make([]int64, 0, len(rows))
+		seqs = append(seqs, lp.seqs...)
+		for _, s := range rp.seqs {
+			seqs = append(seqs, s+offset)
+		}
+		result.parts[q] = pslice{rows: rows, seqs: seqs}
+		return nil
+	})
+	return result, err
+}
+
+// parJoin exchanges both inputs by the join key so matching pairs are
+// co-located, joins each partition in nested-loop order, then k-way
+// merges the partitions by (left tag, right tag) — the exact materialized
+// join order — and re-scatters the merged rows with fresh tags.
+func (e *Engine) parJoin(ctx context.Context, id workflow.NodeID, n *workflow.Node, inputs []*pdata, p int, rm *runMetrics, rowsSoFar int) (*pdata, error) {
+	a := n.Act
+	leftKeyOf, err := rowKeyFn(n.In[0], a.Sem.Attrs, "join")
+	if err != nil {
+		return nil, err
+	}
+	rightKeyOf, err := rowKeyFn(n.In[1], a.Sem.Attrs, "join")
+	if err != nil {
+		return nil, err
+	}
+	lex, err := e.exchangeByKey(ctx, id, n, inputs[0], p, rm, rowsSoFar, leftKeyOf)
+	if err != nil {
+		return nil, err
+	}
+	rex, err := e.exchangeByKey(ctx, id, n, inputs[1], p, rm, rowsSoFar, rightKeyOf)
+	if err != nil {
+		return nil, err
+	}
+	jl := newJoinLayout(n.Out, n.In[0], n.In[1])
+	type joined struct {
+		rows data.Rows
+		l, r []int64
+	}
+	per := make([]joined, p)
+	err = e.forEachPartition(ctx, id, n, p, rm, rowsSoFar, func(q int) error {
+		type tagged struct {
+			rec data.Record
+			seq int64
+		}
+		index := make(map[string][]tagged)
+		rp := rex.parts[q]
+		for i, r := range rp.rows {
+			k := rightKeyOf(r)
+			index[k] = append(index[k], tagged{r, rp.seqs[i]})
+		}
+		var out joined
+		lp := lex.parts[q]
+		for i, l := range lp.rows {
+			for _, m := range index[leftKeyOf(l)] {
+				out.rows = append(out.rows, jl.row(l, m.rec))
+				out.l = append(out.l, lp.seqs[i])
+				out.r = append(out.r, m.seq)
+			}
+		}
+		per[q] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Per-partition outputs are sorted by (left, right) tag already —
+	// left rows were visited in tag order, matches in right tag order —
+	// so a k-way merge on the pair yields the global nested-loop order.
+	total := 0
+	for _, j := range per {
+		total += len(j.rows)
+	}
+	merged := make(data.Rows, 0, total)
+	heads := make([]int, p)
+	for len(merged) < total {
+		best := -1
+		for q := 0; q < p; q++ {
+			if heads[q] >= len(per[q].rows) {
+				continue
+			}
+			if best < 0 ||
+				per[q].l[heads[q]] < per[best].l[heads[best]] ||
+				(per[q].l[heads[q]] == per[best].l[heads[best]] && per[q].r[heads[q]] < per[best].r[heads[best]]) {
+				best = q
+			}
+		}
+		merged = append(merged, per[best].rows[heads[best]])
+		heads[best]++
+	}
+	return scatterRows(merged, p), nil
+}
+
+// parKeyPresence is the shared parallel body of difference (keepPresent
+// false) and intersection (true): exchange both sides by key tuple, mask
+// each left partition against its co-located right rows, keep left tags.
+func (e *Engine) parKeyPresence(ctx context.Context, id workflow.NodeID, n *workflow.Node, inputs []*pdata, p int, rm *runMetrics, rowsSoFar int, keepPresent bool) (*pdata, error) {
+	a := n.Act
+	leftKeyOf, err := rowKeyFn(n.In[0], a.Sem.Attrs, a.Sem.Op.String())
+	if err != nil {
+		return nil, err
+	}
+	rightKeyOf, err := rowKeyFn(n.In[1], a.Sem.Attrs, a.Sem.Op.String())
+	if err != nil {
+		return nil, err
+	}
+	lex, err := e.exchangeByKey(ctx, id, n, inputs[0], p, rm, rowsSoFar, leftKeyOf)
+	if err != nil {
+		return nil, err
+	}
+	rex, err := e.exchangeByKey(ctx, id, n, inputs[1], p, rm, rowsSoFar, rightKeyOf)
+	if err != nil {
+		return nil, err
+	}
+	result := newPdata(p)
+	err = e.forEachPartition(ctx, id, n, p, rm, rowsSoFar, func(q int) error {
+		keep, err := maskKeyPresence(a, []data.Schema{n.In[0], n.In[1]}, lex.parts[q].rows, rex.parts[q].rows, keepPresent)
+		if err != nil {
+			return err
+		}
+		result.parts[q] = applyMaskTagged(lex.parts[q], keep)
+		return nil
+	})
+	return result, err
+}

@@ -182,6 +182,12 @@ func setDiff(a, b map[string]bool) string {
 // definition of equivalent states (§2.2). Targets are compared by name; a
 // non-nil error means an execution failed, while ok=false with a diff
 // means both ran and disagreed.
+//
+// The second workflow is additionally executed in partition-parallel mode
+// (P=4) and held to the engine's stronger contract: bit-identical target
+// rows — same order, same values — against its own materialized run. This
+// folds the parallel engine into every empirical equivalence check the
+// test suite performs.
 func VerifyEmpirical(g1, g2 *workflow.Graph, bindings map[string]data.Recordset) (bool, string, error) {
 	e := engine.New(bindings)
 	r1, err := e.Run(context.Background(), g1)
@@ -207,5 +213,30 @@ func VerifyEmpirical(g1, g2 *workflow.Graph, bindings map[string]data.Recordset)
 				name, len(rows1), len(rows2), strings.Join(diffs, "; ")), nil
 		}
 	}
+	ep := engine.New(bindings, engine.WithMode(engine.Parallel), engine.WithPartitions(4))
+	rp, err := ep.Run(context.Background(), g2)
+	if err != nil {
+		return false, "", fmt.Errorf("equiv: running second workflow in parallel mode: %w", err)
+	}
+	for _, name := range sortedKeys(r2.Targets) {
+		if diff := identicalDiff(r2.Targets[name], rp.Targets[name]); diff != "" {
+			return false, fmt.Sprintf("target %s: parallel run not bit-identical to materialized: %s",
+				name, diff), nil
+		}
+	}
 	return true, "", nil
+}
+
+// identicalDiff describes the first divergence between two row slices
+// under bit-identity (order-sensitive), or "" when identical.
+func identicalDiff(a, b data.Rows) string {
+	if len(a) != len(b) {
+		return fmt.Sprintf("%d vs %d rows", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Key() != b[i].Key() {
+			return fmt.Sprintf("row %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+	return ""
 }

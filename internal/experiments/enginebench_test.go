@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"etlopt/internal/generator"
+)
+
+// TestEngineBench runs the partition-parallel engine baseline on a
+// reduced suite: every parallel run must come back bit-identical, the
+// report shape must line up with the configured partition counts, and
+// the summary must render.
+func TestEngineBench(t *testing.T) {
+	cfg := SuiteConfig{
+		Seed: 5,
+		Counts: map[generator.Category]int{
+			generator.Small:  1,
+			generator.Medium: 1,
+		},
+		Partitions: []int{1, 3},
+		DataRows:   400,
+	}
+	rep, err := EngineBench(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AllIdentical {
+		t.Error("parallel runs not bit-identical")
+	}
+	if rep.Scenarios != 2 || len(rep.Runs) != 2 {
+		t.Fatalf("scenarios = %d, runs = %d, want 2", rep.Scenarios, len(rep.Runs))
+	}
+	if rep.DataRows != 400 || rep.CPUs < 1 {
+		t.Errorf("report header off: rows %d, cpus %d", rep.DataRows, rep.CPUs)
+	}
+	for _, run := range rep.Runs {
+		if len(run.ParallelSeconds) != len(cfg.Partitions) {
+			t.Errorf("%s #%d: %d parallel timings, want %d",
+				run.Category, run.Index, len(run.ParallelSeconds), len(cfg.Partitions))
+		}
+		if run.TargetRows <= 0 || run.MaterializedSeconds <= 0 {
+			t.Errorf("%s #%d: empty measurement %+v", run.Category, run.Index, run)
+		}
+	}
+	if len(rep.Speedup) != 2 || len(rep.ParallelRowsPerSec) != 2 {
+		t.Fatalf("aggregate lengths off: %+v", rep)
+	}
+	var b strings.Builder
+	rep.Summary(&b)
+	for _, want := range []string{"2 scenarios", "bit-identical", "P=3"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("summary missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+// TestRunSuiteParallelExec covers Table 2's exec columns: with
+// Partitions set, every workflow records a materialized wall clock and
+// one per partition count, and the rendered table carries the columns.
+func TestRunSuiteParallelExec(t *testing.T) {
+	results, err := RunSuite(context.Background(), SuiteConfig{
+		Seed:       5,
+		Counts:     map[generator.Category]int{generator.Small: 1},
+		ESBudget:   1500,
+		HSBudget:   1500,
+		Partitions: []int{2, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.ExecSeconds <= 0 {
+			t.Errorf("%s: no materialized exec time", r.Category)
+		}
+		for _, p := range []int{2, 4} {
+			if r.ParExec[p] <= 0 {
+				t.Errorf("%s: no parallel exec time at P=%d", r.Category, p)
+			}
+		}
+	}
+	t2 := Table2(results)
+	for _, want := range []string{"exec s", "exec P=2 s", "exec P=4 s"} {
+		if !strings.Contains(t2, want) {
+			t.Errorf("Table 2 missing %q:\n%s", want, t2)
+		}
+	}
+}

@@ -14,12 +14,15 @@
 package proptest
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"etlopt/internal/cost"
+	"etlopt/internal/data"
 	"etlopt/internal/dsl"
+	"etlopt/internal/engine"
 	"etlopt/internal/equiv"
 	"etlopt/internal/templates"
 	"etlopt/internal/transitions"
@@ -224,6 +227,75 @@ func CheckExpansion(sc *templates.Scenario, model cost.Model, verifyData int) er
 			if !ok {
 				return fmt.Errorf("%s: derived state not equivalent on data: %s", res.Description, diff)
 			}
+		}
+	}
+	return nil
+}
+
+// CheckPartitionInvariance executes the scenario's workflow once in
+// materialized mode and once in partition-parallel mode at each of the
+// given partition counts, asserting the parallel engine's metamorphic
+// contract: for every target, the output multiset agrees AND the rows are
+// byte-identical in order (strictly stronger than multiset equality — the
+// deterministic order-stable merge is part of the contract), and the
+// per-node row counts agree. The partition count must be observationally
+// invisible.
+func CheckPartitionInvariance(sc *templates.Scenario, partitions []int) error {
+	mat, err := engine.New(sc.Bind()).Run(context.Background(), sc.Graph)
+	if err != nil {
+		return fmt.Errorf("materialized run: %w", err)
+	}
+	for _, p := range partitions {
+		par, err := engine.New(sc.Bind(),
+			engine.WithMode(engine.Parallel), engine.WithPartitions(p)).Run(context.Background(), sc.Graph)
+		if err != nil {
+			return fmt.Errorf("parallel run P=%d: %w", p, err)
+		}
+		if len(par.Targets) != len(mat.Targets) {
+			return fmt.Errorf("P=%d: %d targets, materialized loaded %d", p, len(par.Targets), len(mat.Targets))
+		}
+		names := make([]string, 0, len(mat.Targets))
+		for name := range mat.Targets {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			want := mat.Targets[name]
+			got, ok := par.Targets[name]
+			if !ok {
+				return fmt.Errorf("P=%d: target %s missing from parallel run", p, name)
+			}
+			if !want.EqualMultiset(got) {
+				diffs := want.DiffMultiset(got, 3)
+				return fmt.Errorf("P=%d: target %s multiset differs: %v", p, name, diffs)
+			}
+			if err := sameRowOrder(want, got); err != nil {
+				return fmt.Errorf("P=%d: target %s not byte-identical to materialized: %w", p, name, err)
+			}
+		}
+		ids := make([]workflow.NodeID, 0, len(mat.NodeRows))
+		for id := range mat.NodeRows {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			if got, want := par.NodeRows[id], mat.NodeRows[id]; got != want {
+				return fmt.Errorf("P=%d: node %d emitted %d rows, materialized %d", p, id, got, want)
+			}
+		}
+	}
+	return nil
+}
+
+// sameRowOrder requires bit-identity: equal lengths, and equal record
+// keys position by position.
+func sameRowOrder(want, got data.Rows) error {
+	if len(want) != len(got) {
+		return fmt.Errorf("%d vs %d rows", len(got), len(want))
+	}
+	for i := range want {
+		if want[i].Key() != got[i].Key() {
+			return fmt.Errorf("row %d: %s, want %s", i, got[i], want[i])
 		}
 	}
 	return nil

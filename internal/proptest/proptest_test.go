@@ -63,6 +63,43 @@ func TestMetamorphicExpansion(t *testing.T) {
 	t.Logf("checked %d generated workflows", total)
 }
 
+// TestPartitionInvariance is the metamorphic guard for the
+// partition-parallel engine: ~200 seeded random workflows, each executed
+// in materialized mode and in parallel mode at P ∈ {1, 2, 8}, asserting
+// that every target's multiset agrees and the rows are byte-identical in
+// order — the partition count must be observationally invisible. Run
+// under -race this also exercises the exchange and gather machinery for
+// data races.
+func TestPartitionInvariance(t *testing.T) {
+	counts := []struct {
+		cat generator.Category
+		n   int
+	}{
+		{generator.Small, 140},
+		{generator.Medium, 40},
+		{generator.Large, 20},
+	}
+	if testing.Short() {
+		counts[0].n, counts[1].n, counts[2].n = 24, 6, 2
+	}
+	partitions := []int{1, 2, 8}
+	total := 0
+	for _, c := range counts {
+		scs := suiteFor(t, c.cat, c.n, propSeed+int64(c.cat)*104729)
+		for i, sc := range scs {
+			sc, i, c := sc, i, c
+			t.Run(fmt.Sprintf("%s-%02d", c.cat, i+1), func(t *testing.T) {
+				t.Parallel()
+				if err := proptest.CheckPartitionInvariance(sc, partitions); err != nil {
+					t.Fatalf("scenario %s seed base %d index %d: %v", c.cat, propSeed, i, err)
+				}
+			})
+		}
+		total += len(scs)
+	}
+	t.Logf("checked %d generated workflows at P=%v", total, partitions)
+}
+
 // TestSearchMutationLeak byte-compares every expanded parent's serialized
 // form before and after expansion across several search depths — the
 // aliasing regression the race detector can't catch, because no data race

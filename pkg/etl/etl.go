@@ -7,14 +7,21 @@
 // values flow freely between the facade and any future exported
 // subpackages.
 //
-// The two entry points are context-first:
+// The two entry points are context-first and share one functional-options
+// vocabulary:
 //
-//	res, err := etl.Optimize(ctx, g, etl.Options{})
-//	run, err := etl.Run(ctx, res.Best, bindings)
+//	res, err := etl.Optimize(ctx, g, etl.WithAlgorithm(etl.HS))
+//	run, err := etl.Run(ctx, res.Best, bindings, etl.WithPartitions(8))
+//
+// Search options (WithAlgorithm, WithWorkers, …) configure Optimize;
+// engine options (WithMode, WithPartitions, WithBatchSize) configure Run;
+// WithMetrics configures both. Passing an option to the entry point it
+// does not affect is harmless, so one option slice can serve a whole
+// pipeline. The legacy Options struct still works as an Option value.
 //
 // Cancelling the context aborts the optimizer at the next state-expansion
-// boundary and the engine at the next node or batch boundary, returning
-// ctx.Err().
+// boundary and the engine at the next node, partition or batch boundary,
+// returning an error wrapping ctx.Err().
 package etl
 
 import (
@@ -65,7 +72,12 @@ type (
 	CostModel = cost.Model
 	// Mode selects the engine's execution strategy.
 	Mode = engine.Mode
-	// EngineOption configures Run.
+	// EngineOption configures an engine directly.
+	//
+	// Deprecated: Run now takes the package's unified Option values
+	// (WithMode, WithPartitions, WithBatchSize, WithMetrics); use those.
+	// EngineOption remains for callers constructing engines via the
+	// internal engine package's vocabulary.
 	EngineOption = engine.Option
 	// MetricsRegistry collects observability series (counters, gauges,
 	// histograms, spans) from the optimizer and the engine. Collection is
@@ -82,6 +94,10 @@ const (
 	Materialized = engine.Materialized
 	// Pipelined streams records between concurrent node goroutines.
 	Pipelined = engine.Pipelined
+	// Parallel partitions every recordset across P workers (see
+	// WithPartitions) and merges deterministically: target rows are
+	// bit-identical to Materialized at any partition count.
+	Parallel = engine.Parallel
 )
 
 // Null is the SQL-style null Value.
@@ -99,15 +115,103 @@ var (
 	NewBool = data.NewBool
 )
 
-// Engine options.
-var (
-	// WithMode selects the execution mode (default Materialized).
-	WithMode = engine.WithMode
-	// WithBatchSize sets the pipelined mode's channel batch size.
-	WithBatchSize = engine.WithBatchSize
-	// WithMetrics attaches a metrics registry to Run; see Metrics.
-	WithMetrics = engine.WithMetrics
-)
+// Option configures Optimize and/or Run. Options are built with the
+// package's With… constructors; the legacy Options struct is itself an
+// Option, so pre-existing call sites keep working:
+//
+//	etl.Optimize(ctx, g, etl.Options{Algorithm: etl.ES}) // still valid
+//	etl.Optimize(ctx, g, etl.WithAlgorithm(etl.ES))      // preferred
+type Option interface{ apply(*settings) }
+
+// optionFunc adapts a plain function to the Option interface.
+type optionFunc func(*settings)
+
+func (f optionFunc) apply(s *settings) { f(s) }
+
+// settings is the merged configuration of one Optimize or Run call.
+type settings struct {
+	search core.Options
+	algo   Algorithm
+
+	mode       Mode
+	modeSet    bool
+	partitions int
+	batch      int
+	metrics    *MetricsRegistry
+}
+
+// WithAlgorithm selects the optimization search (default HS). Optimize
+// only.
+func WithAlgorithm(a Algorithm) Option {
+	return optionFunc(func(s *settings) { s.algo = a })
+}
+
+// WithModel prices states with a custom cost model (default: the paper's
+// row-count model). Optimize only.
+func WithModel(m CostModel) Option {
+	return optionFunc(func(s *settings) { s.search.Model = m })
+}
+
+// WithMaxStates bounds the search's generated states (0 = package
+// default). Optimize only.
+func WithMaxStates(n int) Option {
+	return optionFunc(func(s *settings) { s.search.MaxStates = n })
+}
+
+// WithGroupCap bounds HS's per-local-group exploration (0 = default).
+// Optimize only.
+func WithGroupCap(n int) Option {
+	return optionFunc(func(s *settings) { s.search.GroupCap = n })
+}
+
+// WithWorkers sets the search's parallelism: 0 means GOMAXPROCS, 1 is
+// fully sequential; results are identical for every value. Optimize only
+// — the engine's parallelism is WithPartitions.
+func WithWorkers(n int) Option {
+	return optionFunc(func(s *settings) { s.search.Workers = n })
+}
+
+// WithMergeConstraints lists activity pairs that must move as one unit
+// during the search (HS pre-processing; split again afterwards). Optimize
+// only.
+func WithMergeConstraints(pairs ...[2]NodeID) Option {
+	return optionFunc(func(s *settings) { s.search.MergeConstraints = pairs })
+}
+
+// WithFullCostEval disables the semi-incremental cost evaluation and
+// recomputes every state's cost from scratch. Results are identical;
+// incremental is faster. Optimize only.
+func WithFullCostEval() Option {
+	return optionFunc(func(s *settings) { s.search.IncrementalCost = false })
+}
+
+// WithMetrics collects observability series into r — search series from
+// Optimize, engine series from Run. etl.Metrics() supplies the
+// package-wide default registry. Collection never affects results.
+func WithMetrics(r *MetricsRegistry) Option {
+	return optionFunc(func(s *settings) { s.metrics = r })
+}
+
+// WithMode selects the execution mode (default Materialized). Run only.
+func WithMode(m Mode) Option {
+	return optionFunc(func(s *settings) { s.mode = m; s.modeSet = true })
+}
+
+// WithPartitions sets the partition count for partition-parallel
+// execution (default: the number of CPUs) and, unless WithMode is given
+// explicitly, selects Parallel mode — etl.Run(ctx, g, bindings,
+// etl.WithPartitions(8)) is a complete parallel run. Output is
+// bit-identical at any count. Run only — the search's parallelism is
+// WithWorkers.
+func WithPartitions(n int) Option {
+	return optionFunc(func(s *settings) { s.partitions = n })
+}
+
+// WithBatchSize sets the pipelined mode's channel batch size (default
+// 64). Run only.
+func WithBatchSize(n int) Option {
+	return optionFunc(func(s *settings) { s.batch = n })
+}
 
 // defaultMetrics is the package-level registry Metrics returns: the
 // rendezvous point for applications that want one process-wide view of
@@ -159,9 +263,16 @@ const (
 	HSGreedy Algorithm = "hs-greedy"
 )
 
-// Options configures Optimize. The zero value asks for the heuristic
-// search with semi-incremental costing and the package defaults — the
-// configuration the paper's experiments recommend.
+// Options configures Optimize as one struct. The zero value asks for the
+// heuristic search with semi-incremental costing and the package defaults
+// — the configuration the paper's experiments recommend.
+//
+// Deprecated: Options is the facade's original configuration surface,
+// kept as a thin shim — it implements Option, so existing
+// Optimize(ctx, g, etl.Options{…}) call sites compile and behave
+// unchanged. New code should pass the equivalent With… options
+// (WithAlgorithm, WithModel, WithMaxStates, WithGroupCap, WithWorkers,
+// WithMergeConstraints, WithFullCostEval, WithMetrics) directly.
 type Options struct {
 	// Algorithm selects the search; empty means HS.
 	Algorithm Algorithm
@@ -188,35 +299,75 @@ type Options struct {
 	Metrics *MetricsRegistry
 }
 
-// Optimize searches for the cheapest workflow equivalent to g and returns
-// the best state found. A cancelled ctx aborts with ctx.Err().
-func Optimize(ctx context.Context, g *Graph, opts Options) (*Result, error) {
-	copts := core.Options{
-		Model:            opts.Model,
-		MaxStates:        opts.MaxStates,
-		GroupCap:         opts.GroupCap,
-		Workers:          opts.Workers,
-		MergeConstraints: opts.MergeConstraints,
-		IncrementalCost:  !opts.FullCostEval,
-		Metrics:          opts.Metrics,
+// apply folds the legacy struct into the unified settings, making an
+// Options value usable anywhere an Option is expected.
+func (o Options) apply(s *settings) {
+	s.algo = o.Algorithm
+	s.search.Model = o.Model
+	s.search.MaxStates = o.MaxStates
+	s.search.GroupCap = o.GroupCap
+	s.search.Workers = o.Workers
+	s.search.MergeConstraints = o.MergeConstraints
+	s.search.IncrementalCost = !o.FullCostEval
+	if o.Metrics != nil {
+		s.metrics = o.Metrics
 	}
-	switch opts.Algorithm {
+}
+
+// newSettings resolves the option list over the package defaults.
+func newSettings(opts []Option) settings {
+	s := settings{
+		search: core.Options{IncrementalCost: true},
+		algo:   HS,
+		mode:   Materialized,
+	}
+	for _, o := range opts {
+		if o != nil {
+			o.apply(&s)
+		}
+	}
+	return s
+}
+
+// Optimize searches for the cheapest workflow equivalent to g and returns
+// the best state found. A cancelled ctx aborts with an error wrapping
+// ctx.Err(). Engine-only options are accepted and ignored, so one option
+// slice can configure a whole optimize-then-run pipeline.
+func Optimize(ctx context.Context, g *Graph, opts ...Option) (*Result, error) {
+	s := newSettings(opts)
+	s.search.Metrics = s.metrics
+	switch s.algo {
 	case ES:
-		return core.Exhaustive(ctx, g, copts)
+		return core.Exhaustive(ctx, g, s.search)
 	case HS, "":
-		return core.Heuristic(ctx, g, copts)
+		return core.Heuristic(ctx, g, s.search)
 	case HSGreedy:
-		return core.HSGreedy(ctx, g, copts)
+		return core.HSGreedy(ctx, g, s.search)
 	default:
-		return nil, fmt.Errorf("etl: unknown algorithm %q", opts.Algorithm)
+		return nil, fmt.Errorf("etl: unknown algorithm %q", s.algo)
 	}
 }
 
 // Run executes the workflow against the bound recordsets: every source
 // must be bound by name; bound targets receive the loaded rows. A
-// cancelled ctx aborts with ctx.Err().
-func Run(ctx context.Context, g *Graph, bindings map[string]Recordset, opts ...EngineOption) (*RunResult, error) {
-	return engine.New(bindings, opts...).Run(ctx, g)
+// cancelled ctx aborts with an error wrapping ctx.Err(). Search-only
+// options are accepted and ignored.
+func Run(ctx context.Context, g *Graph, bindings map[string]Recordset, opts ...Option) (*RunResult, error) {
+	s := newSettings(opts)
+	if s.partitions > 0 && !s.modeSet {
+		s.mode = Parallel
+	}
+	eopts := []engine.Option{engine.WithMode(s.mode)}
+	if s.partitions > 0 {
+		eopts = append(eopts, engine.WithPartitions(s.partitions))
+	}
+	if s.batch > 0 {
+		eopts = append(eopts, engine.WithBatchSize(s.batch))
+	}
+	if s.metrics != nil {
+		eopts = append(eopts, engine.WithMetrics(s.metrics))
+	}
+	return engine.New(bindings, eopts...).Run(ctx, g)
 }
 
 // VerifyEmpirical executes both workflows on the same bound input and

@@ -1,0 +1,176 @@
+package etl_test
+
+import (
+	"context"
+	"testing"
+
+	"etlopt/internal/cost"
+	"etlopt/pkg/etl"
+)
+
+// TestUnifiedOptionsEquivalence pins the shim contract: the deprecated
+// Options struct and the equivalent With… options must drive Optimize to
+// identical results.
+func TestUnifiedOptionsEquivalence(t *testing.T) {
+	ctx := context.Background()
+	g, err := etl.Parse(quickstartDSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := etl.Optimize(ctx, g, etl.Options{Algorithm: etl.ES, MaxStates: 10_000, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unified, err := etl.Optimize(ctx, g,
+		etl.WithAlgorithm(etl.ES), etl.WithMaxStates(10_000), etl.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.BestCost != unified.BestCost {
+		t.Errorf("BestCost: struct %v, options %v", old.BestCost, unified.BestCost)
+	}
+	if old.Best.Signature() != unified.Best.Signature() {
+		t.Errorf("signatures diverge:\n struct:  %s\n options: %s",
+			old.Best.Signature(), unified.Best.Signature())
+	}
+	full, err := etl.Optimize(ctx, g,
+		etl.WithAlgorithm(etl.ES), etl.WithMaxStates(10_000), etl.WithFullCostEval())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.BestCost != old.BestCost {
+		t.Errorf("full cost eval changed the result: %v vs %v", full.BestCost, old.BestCost)
+	}
+}
+
+// TestModelAndConstraintOptions pins the remaining Optimize options: an
+// explicit row model, a group cap and empty merge constraints must all
+// reproduce the default result, and NewGraph starts empty.
+func TestModelAndConstraintOptions(t *testing.T) {
+	ctx := context.Background()
+	g, err := etl.Parse(quickstartDSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := etl.Optimize(ctx, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuned, err := etl.Optimize(ctx, g,
+		etl.WithModel(cost.RowModel{}), etl.WithGroupCap(64), etl.WithMergeConstraints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.BestCost != tuned.BestCost {
+		t.Errorf("explicit defaults changed the result: %v vs %v", tuned.BestCost, base.BestCost)
+	}
+	if fresh := etl.NewGraph(); fresh == nil || fresh.Len() != 0 {
+		t.Errorf("NewGraph not empty: %v", fresh)
+	}
+}
+
+// TestRunModesViaOptions runs the quickstart workflow through all three
+// engine modes using the unified options and requires identical targets.
+func TestRunModesViaOptions(t *testing.T) {
+	ctx := context.Background()
+	g, err := etl.Parse(quickstartDSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := etl.Run(ctx, g, buildBindings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		opts []etl.Option
+	}{
+		{"pipelined", []etl.Option{etl.WithMode(etl.Pipelined), etl.WithBatchSize(2)}},
+		{"parallel", []etl.Option{etl.WithMode(etl.Parallel), etl.WithPartitions(8)}},
+	} {
+		run, err := etl.Run(ctx, g, buildBindings(), tc.opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		for name, want := range base.Targets {
+			if !want.EqualMultiset(run.Targets[name]) {
+				t.Errorf("%s: target %s differs from materialized", tc.name, name)
+			}
+		}
+	}
+}
+
+// TestPartitionsImplyParallelMode pins the quickstart idiom: passing
+// WithPartitions alone selects Parallel mode, while an explicit WithMode
+// still wins over the implication.
+func TestPartitionsImplyParallelMode(t *testing.T) {
+	ctx := context.Background()
+	g, err := etl.Parse(quickstartDSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := etl.Run(ctx, g, buildBindings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := etl.NewMetricsRegistry()
+	run, err := etl.Run(ctx, g, buildBindings(), etl.WithPartitions(3), etl.WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range base.Targets {
+		if !want.EqualMultiset(run.Targets[name]) {
+			t.Errorf("target %s differs from materialized", name)
+		}
+	}
+	if v, ok := reg.Snapshot().CounterValue(`engine_runs_total{mode="parallel"}`); !ok || v != 1 {
+		t.Errorf("WithPartitions alone did not run parallel: runs=%d ok=%v", v, ok)
+	}
+	reg = etl.NewMetricsRegistry()
+	if _, err := etl.Run(ctx, g, buildBindings(),
+		etl.WithMode(etl.Materialized), etl.WithPartitions(3), etl.WithMetrics(reg)); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := reg.Snapshot().CounterValue(`engine_runs_total{mode="materialized"}`); !ok || v != 1 {
+		t.Errorf("explicit WithMode lost to the partitions implication: runs=%d ok=%v", v, ok)
+	}
+}
+
+// TestOneOptionSliceForBothEntryPoints verifies cross-entry-point
+// tolerance: a single slice mixing search and engine options configures
+// Optimize and Run without error, and WithMetrics feeds both.
+func TestOneOptionSliceForBothEntryPoints(t *testing.T) {
+	ctx := context.Background()
+	g, err := etl.Parse(quickstartDSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := etl.NewMetricsRegistry()
+	opts := []etl.Option{
+		etl.WithAlgorithm(etl.HS),
+		etl.WithWorkers(2),
+		etl.WithMode(etl.Parallel),
+		etl.WithPartitions(4),
+		etl.WithMetrics(reg),
+	}
+	res, err := etl.Optimize(ctx, g, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := etl.Run(ctx, res.Best, buildBindings(), opts...); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	var sawSearch, sawEngine bool
+	for _, c := range snap.Counters {
+		if c.Family == "search_states_generated_total" {
+			sawSearch = true
+		}
+		if c.Family == "engine_runs_total" && c.Value > 0 {
+			sawEngine = true
+		}
+	}
+	if !sawSearch || !sawEngine {
+		t.Errorf("shared registry missing series: search=%v engine=%v", sawSearch, sawEngine)
+	}
+}
