@@ -68,6 +68,14 @@ type Finding struct {
 	Message string
 	// Fix suggests a remedy; may be empty.
 	Fix string
+	// File is the machine-readable artifact location: a module-relative Go
+	// source path for source findings, or the analyzed workflow/trace file
+	// as set by the CLI. Empty when no artifact applies. Line and Col are
+	// 1-based and 0 when unknown. The SARIF and baseline layers key on
+	// these instead of parsing Where.
+	File string
+	Line int
+	Col  int
 }
 
 // String renders the finding.
@@ -168,10 +176,25 @@ func (p passMeta) Name() string { return p.name }
 func (p passMeta) Doc() string  { return p.doc }
 func (p passMeta) Kind() Kind   { return p.kind }
 
+// WorkflowOptions tunes the workflow pass family. The zero value is not
+// meaningful; use DefaultWorkflowOptions as the base.
+type WorkflowOptions struct {
+	// CardinalityBound is the blowup factor of the cardinality-blowup
+	// pass: a node whose statically estimated row interval exceeds
+	// CardinalityBound × (total source rows) is flagged.
+	CardinalityBound float64
+}
+
+// DefaultWorkflowOptions returns the default tuning: cardinality blowups
+// flagged beyond 10× the total source rows.
+func DefaultWorkflowOptions() *WorkflowOptions {
+	return &WorkflowOptions{CardinalityBound: 10}
+}
+
 // workflowPass analyzes one workflow graph (schemata regenerated).
 type workflowPass struct {
 	passMeta
-	run func(g *workflow.Graph) []Finding
+	run func(g *workflow.Graph, o *WorkflowOptions) []Finding
 }
 
 // tracePass inspects one replayed trace step, or the run summary.
@@ -200,6 +223,13 @@ func register(p Pass) {
 // RegisterWorkflow adds a workflow pass to the registry. Passes run in
 // name order, so registration order never matters.
 func RegisterWorkflow(name, doc string, run func(g *workflow.Graph) []Finding) {
+	register(&workflowPass{passMeta{name, doc, KindWorkflow},
+		func(g *workflow.Graph, _ *WorkflowOptions) []Finding { return run(g) }})
+}
+
+// RegisterWorkflowOpts adds a workflow pass that reads the per-run
+// WorkflowOptions (never nil when invoked through CheckWorkflow).
+func RegisterWorkflowOpts(name, doc string, run func(g *workflow.Graph, o *WorkflowOptions) []Finding) {
 	register(&workflowPass{passMeta{name, doc, KindWorkflow}, run})
 }
 
@@ -245,6 +275,15 @@ func AllPasses() []Pass {
 // warning, since no dataflow pass can reason about it. Structural
 // invalidity (dangling edges, cycles) is an error, not a finding.
 func CheckWorkflow(g *workflow.Graph) ([]Finding, error) {
+	return CheckWorkflowOpts(g, nil)
+}
+
+// CheckWorkflowOpts is CheckWorkflow with explicit pass options; a nil
+// opts means DefaultWorkflowOptions.
+func CheckWorkflowOpts(g *workflow.Graph, opts *WorkflowOptions) ([]Finding, error) {
+	if opts == nil {
+		opts = DefaultWorkflowOptions()
+	}
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
@@ -260,7 +299,7 @@ func CheckWorkflow(g *workflow.Graph) ([]Finding, error) {
 	}
 	var out []Finding
 	for _, p := range Passes(KindWorkflow) {
-		out = append(out, p.(*workflowPass).run(c)...)
+		out = append(out, p.(*workflowPass).run(c, opts)...)
 	}
 	Sort(out)
 	return out, nil

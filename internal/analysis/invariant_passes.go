@@ -1,0 +1,535 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The invariant source passes enforce the repo's own concurrency and
+// copy-on-write contracts at vet time — the discipline DESIGN.md §7/§8
+// documents and the -tags etldebug runtime audits check dynamically:
+//
+//   - nodes returned by Graph.Node may be structurally shared between a
+//     COW parent and its Mutate children; only package workflow may write
+//     them (through mutableNode), everyone else must use graph methods;
+//   - Fingerprint/Signature renderings cache the graph's structure; a
+//     copy held across a subsequent structural mutation is stale;
+//   - goroutine closures must not write outer variables except through
+//     the per-goroutine slot discipline (distinct slice indices), atomics
+//     or a mutex;
+//   - COW children built by Mutate share node structs with their parent,
+//     so an exported API must DeepClone before letting one escape.
+
+func init() {
+	RegisterSource("cow-node-write",
+		"writes through a possibly-shared *workflow.Node obtained from Graph.Node",
+		checkCOWNodeWrite)
+	RegisterSource("stale-fingerprint",
+		"cached Fingerprint/Signature values used after a structural mutation of the same graph",
+		checkStaleFingerprint)
+	RegisterSource("racy-goroutine-write",
+		"goroutine closures writing outer variables without per-slot indexing, atomics or a lock",
+		checkRacyGoroutineWrite)
+	RegisterSource("shallow-escape",
+		"COW graphs from Mutate escaping an exported API without DeepClone",
+		checkShallowEscape)
+}
+
+// workflowNamed reports whether t is (a pointer to) the named workflow
+// type, resolved through real type information; stubbed imports yield no
+// named type and stay quiet.
+func workflowNamed(t types.Type, name string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Name() == name &&
+		strings.HasSuffix(n.Obj().Pkg().Path(), "internal/workflow")
+}
+
+// graphMethodCall matches a call `recv.Name(...)` where recv's type is
+// *workflow.Graph, returning the receiver expression.
+func graphMethodCall(info *types.Info, call *ast.CallExpr, names ...string) (ast.Expr, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	match := false
+	for _, n := range names {
+		if sel.Sel.Name == n {
+			match = true
+		}
+	}
+	if !match {
+		return nil, false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || !workflowNamed(tv.Type, "Graph") {
+		return nil, false
+	}
+	return sel.X, true
+}
+
+// mutatingGraphMethods structurally change a graph, invalidating any
+// cached fingerprint or signature of it.
+var mutatingGraphMethods = []string{
+	"AddEdge", "MustAddEdge", "RemoveEdge", "RemoveNode",
+	"AddActivity", "AddRecordset", "ReplaceProvider", "MustReplaceProvider",
+}
+
+// checkCOWNodeWrite flags writes through a *workflow.Node local that was
+// obtained from Graph.Node: under the copy-on-write discipline the
+// pointed-to node may be shared with sibling states, and only package
+// workflow (via mutableNode) may write shared nodes. Two provenances are
+// exempt: nodes of a graph the same function created with Clone or
+// DeepClone (its node structs are fresh) — unless the function also
+// calls Mutate on that graph, which re-introduces sharing — and nodes
+// from Node.Clone.
+func checkCOWNodeWrite(p *SourcePackage) []Finding {
+	if strings.HasSuffix(p.PkgPath, "internal/workflow") {
+		return nil // the package that owns the discipline
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			_, body := funcNodeBody(n)
+			if body == nil {
+				return true
+			}
+			// Graphs this function made private copies of, and graphs it
+			// re-entangled with Mutate.
+			fresh := make(map[types.Object]bool)
+			entangled := make(map[types.Object]bool)
+			ast.Inspect(body, func(x ast.Node) bool {
+				switch s := x.(type) {
+				case *ast.AssignStmt:
+					if s.Tok != token.DEFINE {
+						return true
+					}
+					for i, rhs := range s.Rhs {
+						call, ok := rhs.(*ast.CallExpr)
+						if !ok {
+							continue
+						}
+						if _, ok := graphMethodCall(p.Info, call, "Clone", "DeepClone"); !ok {
+							continue
+						}
+						if tv, ok := p.Info.Types[call]; !ok || !workflowNamed(tv.Type, "Graph") {
+							continue // Node.Clone etc., not a graph copy
+						}
+						if i < len(s.Lhs) {
+							if id, ok := s.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+								if o := p.Info.Defs[id]; o != nil {
+									fresh[o] = true
+								}
+							}
+						}
+					}
+				case *ast.CallExpr:
+					if recv, ok := graphMethodCall(p.Info, s, "Mutate"); ok {
+						if id := rootIdent(recv); id != nil {
+							if o := objOf(p.Info, id); o != nil {
+								entangled[o] = true
+							}
+						}
+					}
+				}
+				return true
+			})
+			// Locals defined from g.Node(...) on a possibly-shared graph.
+			shared := make(map[types.Object]bool)
+			ast.Inspect(body, func(x ast.Node) bool {
+				as, ok := x.(*ast.AssignStmt)
+				if !ok || as.Tok != token.DEFINE {
+					return true
+				}
+				for i, rhs := range as.Rhs {
+					call, ok := rhs.(*ast.CallExpr)
+					if !ok {
+						continue
+					}
+					recv, ok := graphMethodCall(p.Info, call, "Node")
+					if !ok {
+						continue
+					}
+					if gid := rootIdent(recv); gid != nil {
+						if o := objOf(p.Info, gid); o != nil && fresh[o] && !entangled[o] {
+							continue // private copy: its node structs are unshared
+						}
+					}
+					if i < len(as.Lhs) {
+						if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+							if o := p.Info.Defs[id]; o != nil {
+								shared[o] = true
+							}
+						}
+					}
+				}
+				return true
+			})
+			if len(shared) == 0 {
+				return true
+			}
+			ast.Inspect(body, func(x ast.Node) bool {
+				var target ast.Expr
+				var pos token.Pos
+				switch s := x.(type) {
+				case *ast.AssignStmt:
+					if s.Tok == token.DEFINE {
+						return true
+					}
+					for _, lhs := range s.Lhs {
+						if sel, ok := lhs.(*ast.SelectorExpr); ok {
+							if id := rootIdent(sel.X); id != nil && shared[objOf(p.Info, id)] {
+								target, pos = lhs, s.Pos()
+							}
+						}
+					}
+				case *ast.IncDecStmt:
+					if sel, ok := s.X.(*ast.SelectorExpr); ok {
+						if id := rootIdent(sel.X); id != nil && shared[objOf(p.Info, id)] {
+							target, pos = s.X, s.Pos()
+						}
+					}
+				}
+				if target != nil {
+					id := rootIdent(target)
+					out = append(out, p.finding(Warning, "cow-node-write", pos,
+						fmt.Sprintf("write through %s, a node obtained from Graph.Node that may be structurally shared with sibling COW states", id.Name),
+						"mutate through Graph methods (AddActivity, ReplaceProvider, ...), or work on a Node.Clone()"))
+				}
+				return true
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// funcNodeBody returns the body when n is a function declaration or
+// literal, else nil.
+func funcNodeBody(n ast.Node) (ast.Node, *ast.BlockStmt) {
+	switch f := n.(type) {
+	case *ast.FuncDecl:
+		return f, f.Body
+	case *ast.FuncLit:
+		return f, f.Body
+	}
+	return nil, nil
+}
+
+// checkStaleFingerprint flags intra-function retention of a cached
+// Graph.Fingerprint or Graph.Signature across a structural mutation of
+// the same graph variable: the cached rendering no longer describes the
+// graph, so interning or comparing with it is wrong.
+func checkStaleFingerprint(p *SourcePackage) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			_, body := funcNodeBody(n)
+			if body == nil {
+				return true
+			}
+			out = append(out, auditStaleCaches(p, body)...)
+			return true
+		})
+	}
+	return out
+}
+
+// cachedRender is one `v := g.Fingerprint()`-style binding.
+type cachedRender struct {
+	obj   types.Object // the cached local
+	graph types.Object // the graph it renders
+	via   string       // Fingerprint or Signature
+	pos   token.Pos
+}
+
+func auditStaleCaches(p *SourcePackage, body *ast.BlockStmt) []Finding {
+	info := p.Info
+	var caches []cachedRender
+	ast.Inspect(body, func(x ast.Node) bool {
+		as, ok := x.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			recv, ok := graphMethodCall(info, call, "Fingerprint", "Signature")
+			if !ok {
+				continue
+			}
+			gid := rootIdent(recv)
+			if gid == nil || i >= len(as.Lhs) {
+				continue
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := objOf(info, id)
+			gobj := objOf(info, gid)
+			if obj == nil || gobj == nil {
+				continue
+			}
+			caches = append(caches, cachedRender{
+				obj: obj, graph: gobj,
+				via: call.Fun.(*ast.SelectorExpr).Sel.Name, pos: as.Pos(),
+			})
+		}
+		return true
+	})
+	if len(caches) == 0 {
+		return nil
+	}
+	// First structural mutation per graph object, by position.
+	mutated := make(map[types.Object]token.Pos)
+	ast.Inspect(body, func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, ok := graphMethodCall(info, call, mutatingGraphMethods...)
+		if !ok {
+			return true
+		}
+		gid := rootIdent(recv)
+		if gid == nil {
+			return true
+		}
+		if o := objOf(info, gid); o != nil {
+			if prev, ok := mutated[o]; !ok || call.Pos() < prev {
+				mutated[o] = call.Pos()
+			}
+		}
+		return true
+	})
+	if len(mutated) == 0 {
+		return nil
+	}
+	var out []Finding
+	reported := make(map[types.Object]bool)
+	ast.Inspect(body, func(x ast.Node) bool {
+		id, ok := x.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil || reported[obj] {
+			return true
+		}
+		for _, c := range caches {
+			if c.obj != obj {
+				continue
+			}
+			mpos, ok := mutated[c.graph]
+			if !ok || c.pos >= mpos || id.Pos() <= mpos {
+				continue // cached after the mutation, or used before it
+			}
+			reported[obj] = true
+			out = append(out, p.finding(Warning, "stale-fingerprint", id.Pos(),
+				fmt.Sprintf("%s caches %s.%s() taken before a structural mutation of %s; the rendering is stale here",
+					obj.Name(), c.graph.Name(), c.via, c.graph.Name()),
+				fmt.Sprintf("re-read %s.%s() after the mutation, or finish using the cached value first", c.graph.Name(), c.via)))
+		}
+		return true
+	})
+	return out
+}
+
+// checkRacyGoroutineWrite flags goroutine closures that write variables
+// declared outside the closure. The repo's worker discipline makes three
+// shapes safe and they are exempt: stores through a slice or array index
+// (each worker owns a distinct slot), closures that serialize through a
+// Lock, and sync/atomic calls (calls, not assignments, so they never
+// match). Everything else — plain variables, struct fields, outer maps,
+// appends — is a data race under -race and nondeterministic before it.
+func checkRacyGoroutineWrite(p *SourcePackage) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := g.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			if usesLock(lit.Body) {
+				return true // serialized: the mutex, not the scheduler, orders writes
+			}
+			out = append(out, auditGoroutineWrites(p, lit)...)
+			return true
+		})
+	}
+	return out
+}
+
+// usesLock reports whether the block calls a Lock/RLock method — the
+// closure serializes its shared writes.
+func usesLock(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock" {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func auditGoroutineWrites(p *SourcePackage, lit *ast.FuncLit) []Finding {
+	info := p.Info
+	outerVar := func(id *ast.Ident) types.Object {
+		o := objOf(info, id)
+		if o == nil || declaredWithin(o, lit) {
+			return nil
+		}
+		if _, ok := o.(*types.Var); !ok {
+			return nil
+		}
+		return o
+	}
+	var out []Finding
+	flag := func(pos token.Pos, name, what string) {
+		out = append(out, p.finding(Warning, "racy-goroutine-write", pos,
+			fmt.Sprintf("goroutine writes %s %s without synchronization; concurrent workers race on it", what, name),
+			"give each goroutine its own slice slot, use sync/atomic, or guard the write with a mutex"))
+	}
+	audit := func(lhs ast.Expr, pos token.Pos) {
+		switch l := lhs.(type) {
+		case *ast.Ident:
+			if o := outerVar(l); o != nil {
+				flag(pos, l.Name, "outer variable")
+			}
+		case *ast.SelectorExpr:
+			if id := rootIdent(l.X); id != nil && outerVar(id) != nil {
+				flag(pos, id.Name+"."+l.Sel.Name, "field of outer value")
+			}
+		case *ast.IndexExpr:
+			base := rootIdent(l.X)
+			if base == nil || outerVar(base) == nil {
+				return
+			}
+			if tv, ok := info.Types[l.X]; ok && tv.Type != nil {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					flag(pos, base.Name, "outer map")
+				}
+				// Slice/array index stores are the per-goroutine slot
+				// discipline: each worker writes its own element.
+			}
+		case *ast.StarExpr:
+			if id := rootIdent(l.X); id != nil && outerVar(id) != nil {
+				flag(pos, "*"+id.Name, "value behind outer pointer")
+			}
+		}
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return s == lit // nested goroutine literals are audited by their own GoStmt visit
+		case *ast.AssignStmt:
+			if s.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range s.Lhs {
+				audit(lhs, s.Pos())
+			}
+		case *ast.IncDecStmt:
+			audit(s.X, s.Pos())
+		}
+		return true
+	})
+	return out
+}
+
+// checkShallowEscape flags exported functions that return a graph
+// obtained from Mutate: the COW child shares node structs with its
+// parent, so handing it across a package boundary invites aliased
+// mutation. The transitions package is exempt — its Result.Graph
+// contract is documented COW, resolved by the search core's interning.
+func checkShallowEscape(p *SourcePackage) []Finding {
+	if strings.HasSuffix(p.PkgPath, "internal/workflow") ||
+		strings.HasSuffix(p.PkgPath, "internal/transitions") {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !fd.Name.IsExported() || fd.Body == nil {
+				continue
+			}
+			// Locals defined from g.Mutate() in this function.
+			cow := make(map[types.Object]bool)
+			ast.Inspect(fd.Body, func(x ast.Node) bool {
+				as, ok := x.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				for i, rhs := range as.Rhs {
+					call, ok := rhs.(*ast.CallExpr)
+					if !ok {
+						continue
+					}
+					if _, ok := graphMethodCall(p.Info, call, "Mutate"); !ok {
+						continue
+					}
+					if i < len(as.Lhs) {
+						if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+							if o := objOf(p.Info, id); o != nil {
+								cow[o] = true
+							}
+						}
+					}
+				}
+				return true
+			})
+			ast.Inspect(fd.Body, func(x ast.Node) bool {
+				if _, body := funcNodeBody(x); body != nil {
+					return false // returns inside nested literals leave that literal, not fd
+				}
+				ret, ok := x.(*ast.ReturnStmt)
+				if !ok {
+					return true
+				}
+				for _, r := range ret.Results {
+					if call, ok := r.(*ast.CallExpr); ok {
+						if _, ok := graphMethodCall(p.Info, call, "Mutate"); ok {
+							out = append(out, p.finding(Warning, "shallow-escape", ret.Pos(),
+								fmt.Sprintf("%s returns a COW child from Mutate; node structs stay shared with the parent across the package boundary", fd.Name.Name),
+								"return DeepClone() of the result, or keep the COW child package-internal"))
+							continue
+						}
+					}
+					if id, ok := r.(*ast.Ident); ok {
+						if o := objOf(p.Info, id); o != nil && cow[o] {
+							out = append(out, p.finding(Warning, "shallow-escape", ret.Pos(),
+								fmt.Sprintf("%s returns %s, a COW child from Mutate; node structs stay shared with the parent across the package boundary", fd.Name.Name, id.Name),
+								"return DeepClone() of the result, or keep the COW child package-internal"))
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}

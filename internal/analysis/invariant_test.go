@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// invariantFindings runs the source passes over the invariant fixture.
+func invariantFindings(t *testing.T) []Finding {
+	t.Helper()
+	fs, err := AnalyzeSource([]string{"./testdata/src/invariant"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+// TestInvariantFixture pins each invariant pass to its positive cases:
+// exact finding counts per check, and no finding inside a Good*/good*
+// boundary function.
+func TestInvariantFixture(t *testing.T) {
+	fs := invariantFindings(t)
+	for check, want := range map[string]int{
+		"cow-node-write":       2, // BadNodeWrite, BadNodeWriteAfterMutate
+		"stale-fingerprint":    2, // BadStaleFingerprint, BadStaleSignature
+		"racy-goroutine-write": 3, // BadRacyCounter, BadRacyMap, BadRacyField
+		"shallow-escape":       2, // BadShallowEscape, BadShallowEscapeDirect
+	} {
+		got := byCheck(fs, check)
+		if len(got) != want {
+			t.Errorf("%s: want %d finding(s), got %d: %v", check, want, len(got), got)
+		}
+		for _, f := range got {
+			if f.Severity != Warning {
+				t.Errorf("%s: severity %v, want warning: %s", check, f.Severity, f)
+			}
+			if f.File == "" || f.Line == 0 {
+				t.Errorf("%s: missing structured location: %+v", check, f)
+			}
+			if !strings.HasPrefix(f.File, "internal/analysis/testdata/src/invariant/") {
+				t.Errorf("%s: File not module-relative: %q", check, f.File)
+			}
+		}
+	}
+	// The false-positive boundary: nothing may point inside a Good*/good*
+	// function.
+	data, err := os.ReadFile("testdata/src/invariant/invariant.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(string(data), "\n")
+	for _, f := range fs {
+		if fn := enclosingFixtureFunc(lines, f.Where); strings.HasPrefix(fn, "Good") || strings.HasPrefix(fn, "good") {
+			t.Errorf("false positive inside %s: %s", fn, f)
+		}
+	}
+}
+
+// TestInvariantFindingMessages spot-checks that the messages carry the
+// evidence a reader needs.
+func TestInvariantFindingMessages(t *testing.T) {
+	fs := invariantFindings(t)
+	wantSubstr := map[string]string{
+		"cow-node-write":       "Graph.Node",
+		"stale-fingerprint":    "structural mutation",
+		"racy-goroutine-write": "without synchronization",
+		"shallow-escape":       "Mutate",
+	}
+	for check, want := range wantSubstr {
+		for _, f := range byCheck(fs, check) {
+			if !strings.Contains(f.Message, want) {
+				t.Errorf("%s message lacks %q: %q", check, want, f.Message)
+			}
+		}
+	}
+}

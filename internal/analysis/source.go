@@ -18,6 +18,8 @@ type SourcePackage struct {
 	Fset *token.FileSet
 	// Dir is the package directory on disk; PkgPath its import path.
 	Dir, PkgPath string
+	// Root is the module root directory, for module-relative locations.
+	Root string
 	// Files are the non-test source files, sorted by file name.
 	Files []*ast.File
 	// Info carries type information. Type checking is tolerant: imports
@@ -30,6 +32,31 @@ type SourcePackage struct {
 func (p *SourcePackage) Pos(pos token.Pos) string {
 	pp := p.Fset.Position(pos)
 	return fmt.Sprintf("%s:%d:%d", filepath.Base(pp.Filename), pp.Line, pp.Column)
+}
+
+// Loc returns the module-relative artifact path and 1-based line/column
+// for a position — the machine-readable location SARIF and the baseline
+// key on. Falls back to the base name when the file is outside the root.
+func (p *SourcePackage) Loc(pos token.Pos) (file string, line, col int) {
+	pp := p.Fset.Position(pos)
+	file = filepath.Base(pp.Filename)
+	if p.Root != "" {
+		if rel, err := filepath.Rel(p.Root, pp.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			file = filepath.ToSlash(rel)
+		}
+	}
+	return file, pp.Line, pp.Column
+}
+
+// finding builds a source finding anchored at pos with both the rendered
+// Where location and the structured File/Line/Col fields populated.
+func (p *SourcePackage) finding(sev Severity, check string, pos token.Pos, msg, fix string) Finding {
+	file, line, col := p.Loc(pos)
+	return Finding{
+		Severity: sev, Check: check, Node: -1,
+		Where: p.Pos(pos), Message: msg, Fix: fix,
+		File: file, Line: line, Col: col,
+	}
 }
 
 // moduleRoot walks upward from dir to the directory holding go.mod and
@@ -152,7 +179,7 @@ func (l *loader) load(dir, pkgPath string) (*SourcePackage, error) {
 	if pkg != nil {
 		l.pkgs[pkgPath] = pkg
 	}
-	sp := &SourcePackage{Fset: l.fset, Dir: dir, PkgPath: pkgPath, Files: files, Info: info}
+	sp := &SourcePackage{Fset: l.fset, Dir: dir, PkgPath: pkgPath, Root: l.root, Files: files, Info: info}
 	l.packages[dir] = sp
 	return sp, nil
 }

@@ -209,10 +209,7 @@ func auditMapRange(p *SourcePackage, parents map[ast.Node]ast.Node, rs *ast.Rang
 	}
 
 	warn := func(n ast.Node, msg, fix string) Finding {
-		return Finding{
-			Severity: Warning, Check: "map-iteration", Node: -1,
-			Where: p.Pos(n.Pos()), Message: msg, Fix: fix,
-		}
+		return p.finding(Warning, "map-iteration", n.Pos(), msg, fix)
 	}
 
 	var out []Finding
@@ -407,12 +404,9 @@ func checkWallClock(p *SourcePackage) []Finding {
 			if wallClockAllowed(p.Info, parents, call) {
 				return true
 			}
-			out = append(out, Finding{
-				Severity: Warning, Check: "wall-clock", Node: -1,
-				Where:   p.Pos(call.Pos()),
-				Message: "time.Now read outside the elapsed-time idiom makes output depend on when it runs",
-				Fix:     "restrict wall-clock use to `start := time.Now()` ... `time.Since(start)`, or inject the timestamp",
-			})
+			out = append(out, p.finding(Warning, "wall-clock", call.Pos(),
+				"time.Now read outside the elapsed-time idiom makes output depend on when it runs",
+				"restrict wall-clock use to `start := time.Now()` ... `time.Since(start)`, or inject the timestamp"))
 			return true
 		})
 	}
@@ -496,20 +490,14 @@ func checkRandomness(p *SourcePackage) []Finding {
 				return true
 			}
 			if name, ok := selOnPackage(p.Info, call.Fun, "math/rand", "math/rand/v2"); ok && !randConstructors[name] {
-				out = append(out, Finding{
-					Severity: Warning, Check: "randomness", Node: -1,
-					Where:   p.Pos(call.Pos()),
-					Message: fmt.Sprintf("rand.%s draws from the unseeded global source; runs are not reproducible", name),
-					Fix:     "draw from rand.New(rand.NewSource(seed)) with a caller-supplied seed",
-				})
+				out = append(out, p.finding(Warning, "randomness", call.Pos(),
+					fmt.Sprintf("rand.%s draws from the unseeded global source; runs are not reproducible", name),
+					"draw from rand.New(rand.NewSource(seed)) with a caller-supplied seed"))
 			}
 			if name, ok := selOnPackage(p.Info, call.Fun, "crypto/rand"); ok {
-				out = append(out, Finding{
-					Severity: Warning, Check: "randomness", Node: -1,
-					Where:   p.Pos(call.Pos()),
-					Message: fmt.Sprintf("crypto/rand.%s reads hardware entropy; runs are not reproducible", name),
-					Fix:     "use a seeded math/rand source for anything that influences results",
-				})
+				out = append(out, p.finding(Warning, "randomness", call.Pos(),
+					fmt.Sprintf("crypto/rand.%s reads hardware entropy; runs are not reproducible", name),
+					"use a seeded math/rand source for anything that influences results"))
 			}
 			return true
 		})
@@ -538,12 +526,9 @@ func checkCtxFirst(p *SourcePackage) []Finding {
 					n = 1
 				}
 				if isCtx && pos > 0 {
-					out = append(out, Finding{
-						Severity: Warning, Check: "ctx-first", Node: -1,
-						Where:   p.Pos(field.Pos()),
-						Message: fmt.Sprintf("%s takes context.Context at parameter %d; the project convention is ctx first", fd.Name.Name, pos),
-						Fix:     "move the context.Context parameter to the front",
-					})
+					out = append(out, p.finding(Warning, "ctx-first", field.Pos(),
+						fmt.Sprintf("%s takes context.Context at parameter %d; the project convention is ctx first", fd.Name.Name, pos),
+						"move the context.Context parameter to the front"))
 				}
 				pos += n
 			}

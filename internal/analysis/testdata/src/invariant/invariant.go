@@ -1,0 +1,212 @@
+// Package invariant is the test fixture for the COW/concurrency
+// invariant source passes. Bad* functions violate an invariant and must
+// each be flagged; Good* and good* functions sit just inside the
+// false-positive boundary and must stay clean.
+package invariant
+
+import (
+	"sync"
+
+	"etlopt/internal/workflow"
+)
+
+// ---- cow-node-write ----
+
+// BadNodeWrite writes through a node of a caller-supplied graph: the
+// node struct may be shared with sibling COW states.
+func BadNodeWrite(g *workflow.Graph, id workflow.NodeID) {
+	n := g.Node(id)
+	n.Out = nil
+}
+
+// BadNodeWriteAfterMutate writes through a node of a private copy that
+// the function re-entangled with Mutate.
+func BadNodeWriteAfterMutate(g *workflow.Graph, id workflow.NodeID) {
+	c := g.Clone()
+	_ = c.Mutate()
+	n := c.Node(id)
+	n.Out = nil
+}
+
+// GoodNodeRead only reads through the shared node.
+func GoodNodeRead(g *workflow.Graph, id workflow.NodeID) workflow.NodeKind {
+	n := g.Node(id)
+	return n.Kind
+}
+
+// GoodCloneWrite writes nodes of a function-private Clone: its node
+// structs are fresh, nothing shares them.
+func GoodCloneWrite(g *workflow.Graph, id workflow.NodeID) *workflow.Graph {
+	c := g.Clone()
+	n := c.Node(id)
+	n.Out = nil
+	return c
+}
+
+// ---- stale-fingerprint ----
+
+// BadStaleFingerprint returns a fingerprint taken before a structural
+// mutation: the cached value no longer describes the graph.
+func BadStaleFingerprint(g *workflow.Graph, a, b workflow.NodeID) uint64 {
+	fp := g.Fingerprint()
+	g.MustAddEdge(a, b)
+	return fp
+}
+
+// BadStaleSignature retains an interned signature across RemoveEdge.
+func BadStaleSignature(g *workflow.Graph, a, b workflow.NodeID) string {
+	sig := g.Signature()
+	g.RemoveEdge(a, b)
+	return sig
+}
+
+// GoodRefreshedFingerprint re-reads after the mutation.
+func GoodRefreshedFingerprint(g *workflow.Graph, a, b workflow.NodeID) uint64 {
+	g.MustAddEdge(a, b)
+	fp := g.Fingerprint()
+	return fp
+}
+
+// GoodUseBeforeMutate finishes with the cached value before mutating.
+func GoodUseBeforeMutate(g *workflow.Graph, a, b workflow.NodeID) uint64 {
+	fp := g.Fingerprint()
+	sum := fp + 1
+	g.MustAddEdge(a, b)
+	return sum
+}
+
+// GoodOtherGraphMutated caches one graph and mutates another.
+func GoodOtherGraphMutated(g, h *workflow.Graph, a, b workflow.NodeID) uint64 {
+	fp := g.Fingerprint()
+	h.MustAddEdge(a, b)
+	return fp
+}
+
+// ---- racy-goroutine-write ----
+
+// BadRacyCounter increments an outer variable from worker goroutines.
+func BadRacyCounter(n int) int {
+	total := 0
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		go func() {
+			total++
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	return total
+}
+
+// BadRacyMap writes an outer map from worker goroutines.
+func BadRacyMap(keys []string) map[string]int {
+	m := map[string]int{}
+	done := make(chan struct{})
+	for _, k := range keys {
+		k := k
+		go func() {
+			m[k] = len(k)
+			done <- struct{}{}
+		}()
+	}
+	for range keys {
+		<-done
+	}
+	return m
+}
+
+type tally struct{ n int }
+
+// BadRacyField writes a field of an outer value from a goroutine.
+func BadRacyField(t *tally) {
+	done := make(chan struct{})
+	go func() {
+		t.n = 1
+		done <- struct{}{}
+	}()
+	<-done
+}
+
+// GoodSlotWrites follows the per-goroutine slot discipline: each worker
+// owns one slice element.
+func GoodSlotWrites(xs []int) []int {
+	out := make([]int, len(xs))
+	done := make(chan struct{})
+	for i, x := range xs {
+		i, x := i, x
+		go func() {
+			out[i] = x * 2
+			done <- struct{}{}
+		}()
+	}
+	for range xs {
+		<-done
+	}
+	return out
+}
+
+// GoodLockedWrites serializes the shared write with a mutex.
+func GoodLockedWrites(n int) int {
+	var mu sync.Mutex
+	total := 0
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		go func() {
+			mu.Lock()
+			total++
+			mu.Unlock()
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	return total
+}
+
+// GoodLocalWrites only writes goroutine-local state.
+func GoodLocalWrites(xs []int, sink chan<- int) {
+	for _, x := range xs {
+		x := x
+		go func() {
+			acc := 0
+			acc += x
+			sink <- acc
+		}()
+	}
+}
+
+// ---- shallow-escape ----
+
+// BadShallowEscape returns a COW child across the package boundary.
+func BadShallowEscape(g *workflow.Graph) *workflow.Graph {
+	c := g.Mutate()
+	return c
+}
+
+// BadShallowEscapeDirect returns the Mutate result directly.
+func BadShallowEscapeDirect(g *workflow.Graph) *workflow.Graph {
+	return g.Mutate()
+}
+
+// GoodDeepCloneEscape severs sharing before the graph escapes.
+func GoodDeepCloneEscape(g *workflow.Graph) *workflow.Graph {
+	c := g.Mutate()
+	return c.DeepClone()
+}
+
+// goodInternalMutate is unexported: COW children may flow freely inside
+// a package.
+func goodInternalMutate(g *workflow.Graph) *workflow.Graph {
+	return g.Mutate()
+}
+
+// GoodCloneReturn returns an independent Clone, not a COW child.
+func GoodCloneReturn(g *workflow.Graph) *workflow.Graph {
+	c := g.Clone()
+	return c
+}
+
+var _ = goodInternalMutate

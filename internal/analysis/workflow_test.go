@@ -183,7 +183,7 @@ func TestPassRegistry(t *testing.T) {
 			t.Errorf("pass %q missing metadata", p.Name())
 		}
 	}
-	if kinds[KindWorkflow] < 9 || kinds[KindTrace] != 4 || kinds[KindSource] != 4 {
+	if kinds[KindWorkflow] < 13 || kinds[KindTrace] != 4 || kinds[KindSource] < 8 {
 		t.Errorf("registry families: %v", kinds)
 	}
 	for _, k := range []Kind{KindWorkflow, KindTrace, KindSource} {
