@@ -17,6 +17,7 @@ package etlopt
 import (
 	"context"
 	"fmt"
+	"io"
 	"testing"
 
 	"etlopt/internal/core"
@@ -639,5 +640,62 @@ func BenchmarkObsOverhead(b *testing.B) {
 				b.ReportMetric(float64(res.Visited), "states")
 			})
 		}
+	}
+}
+
+// BenchmarkJournalOverhead prices the flight recorder against the same
+// search with recording off. The Off arm is the zero-cost contract — a
+// nil *Journal must leave the hot path untouched — and the On arm
+// (journal draining to io.Discard) is the worst-case emission rate: one
+// event per transition attempt plus cache lookups. Both arms must visit
+// the identical states and find the identical cost.
+func BenchmarkJournalOverhead(b *testing.B) {
+	sc, err := generator.Generate(generator.CategoryConfig(generator.Medium, 20050405))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const maxStates = 10_000
+	ref, err := core.Heuristic(context.Background(), sc.Graph, core.Options{
+		MaxStates: maxStates, IncrementalCost: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, on := range []bool{false, true} {
+		label := "HS/Off"
+		if on {
+			label = "HS/On"
+		}
+		b.Run(label, func(b *testing.B) {
+			var res *core.Result
+			var events int64
+			for i := 0; i < b.N; i++ {
+				opts := core.Options{MaxStates: maxStates, IncrementalCost: true}
+				var j *obs.Journal
+				if on {
+					j = obs.NewJournal(io.Discard, nil)
+					opts.Journal = j
+				}
+				var err error
+				res, err = core.Heuristic(context.Background(), sc.Graph, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if on {
+					if err := j.Close(); err != nil {
+						b.Fatal(err)
+					}
+					events = j.Written() + j.Dropped()
+				}
+			}
+			if res.BestCost != ref.BestCost || res.Visited != ref.Visited {
+				b.Fatalf("journal=%v changed the result: (%v,%d) vs (%v,%d)",
+					on, res.BestCost, res.Visited, ref.BestCost, ref.Visited)
+			}
+			b.ReportMetric(float64(res.Visited), "states")
+			if on {
+				b.ReportMetric(float64(events), "events")
+			}
+		})
 	}
 }

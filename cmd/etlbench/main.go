@@ -11,6 +11,12 @@
 //	etlbench -verify         # also validate every optimized workflow on data
 //	etlbench -expand FILE    # incremental-vs-full-clone expansion baseline
 //	etlbench -engine FILE    # partition-parallel engine baseline (BENCH_engine.json)
+//	etlbench -compare OLD NEW [-tolerance 0.2]
+//	                         # perf-regression gate over two baseline reports
+//	                         # (BENCH_expand.json / BENCH_engine.json schema):
+//	                         # exits nonzero when NEW's throughput falls more
+//	                         # than the tolerance below OLD, or when NEW lost
+//	                         # bit-identity
 //
 // Flag vocabulary (shared across etlrun, etlopt and etlbench): -workers
 // controls optimizer search parallelism, while -partitions controls engine
@@ -65,9 +71,19 @@ func run() error {
 		quiet     = flag.Bool("quiet", false, "suppress per-workflow progress")
 		metrics   = flag.String("metrics", "", "write a JSON metrics snapshot of the whole suite here (auditable with etlvet metrics)")
 		debugAddr = flag.String("debug-addr", "", "serve a live status page, /metrics (Prometheus) and /metrics.json on this address during the run")
+		journal   = flag.String("journal", "", "record a structured run journal of the whole suite here (JSONL flight recorder, auditable with etlvet obs)")
+		traceOut  = flag.String("trace-out", "", "write the suite's span tree as Chrome/Perfetto trace-event JSON here")
+		compare   = flag.String("compare", "", "regression gate: compare the OLD baseline report named here against the NEW report given as the positional argument")
+		tolerance = flag.Float64("tolerance", 0.2, "allowed fractional throughput drop for -compare (0.2 = 20%)")
 	)
 	flag.Parse()
 
+	if *compare != "" {
+		if flag.NArg() != 1 {
+			return fmt.Errorf("-compare OLD needs exactly one positional argument: the NEW report (got %d)", flag.NArg())
+		}
+		return compareReports(*compare, flag.Arg(0), *tolerance)
+	}
 	if *fig4 {
 		printFig4()
 		return nil
@@ -116,8 +132,17 @@ func run() error {
 	if !*quiet {
 		cfg.Progress = os.Stderr
 	}
-	if *metrics != "" || *debugAddr != "" {
+	if *metrics != "" || *debugAddr != "" || *traceOut != "" {
 		cfg.Metrics = obs.NewRegistry()
+	}
+	var jnl *obs.Journal
+	if *journal != "" {
+		jnl, err = obs.NewJournalFile(*journal, cfg.Metrics)
+		if err != nil {
+			return err
+		}
+		defer jnl.Close()
+		cfg.Journal = jnl
 	}
 	if *debugAddr != "" {
 		bound, stopSrv, err := obs.Serve(*debugAddr, cfg.Metrics)
@@ -136,6 +161,19 @@ func run() error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "metrics snapshot written to %s\n", *metrics)
+	}
+	if jnl != nil {
+		if err := jnl.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "etlbench: journal:", err)
+		}
+		fmt.Fprintf(os.Stderr, "run journal written to %s (%d events, %d dropped)\n",
+			*journal, jnl.Written(), jnl.Dropped())
+	}
+	if *traceOut != "" {
+		if err := cfg.Metrics.Snapshot().WriteTraceEventsFile(*traceOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trace events written to %s (load in Perfetto or chrome://tracing)\n", *traceOut)
 	}
 
 	fmt.Println("Table 1: quality of solution (avg % of best-ES improvement)")
@@ -214,6 +252,107 @@ func runEngine(path string, counts map[generator.Category]int, seed int64, parti
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "engine baseline written to %s\n", path)
+	return nil
+}
+
+// benchReport is the union of the BENCH_expand.json and
+// BENCH_engine.json schemas, reduced to the fields the regression gate
+// reads. Metrics absent from a report decode to zero and are skipped.
+type benchReport struct {
+	AllIdentical            *bool     `json:"all_identical"`
+	IncrementalStatesPerSec float64   `json:"incremental_states_per_sec"`
+	FullCloneStatesPerSec   float64   `json:"full_clone_states_per_sec"`
+	MaterializedRowsPerSec  float64   `json:"materialized_rows_per_sec"`
+	Partitions              []int     `json:"partitions"`
+	ParallelRowsPerSec      []float64 `json:"parallel_rows_per_sec"`
+}
+
+func readBenchReport(path string) (*benchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r benchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// compareReports is the perf-regression gate: it reads two baseline
+// reports sharing a schema (BENCH_expand.json or BENCH_engine.json),
+// prints a per-metric comparison, and fails when any throughput metric
+// that was nonzero in OLD drops more than the tolerance in NEW, or when
+// NEW lost the bit-identity the baselines assert. Parallel throughput
+// entries are matched by partition count, so the two reports may
+// measure different partition sets.
+func compareReports(oldPath, newPath string, tol float64) error {
+	if tol < 0 || tol >= 1 {
+		return fmt.Errorf("-tolerance wants a fraction in [0, 1), got %v", tol)
+	}
+	old, err := readBenchReport(oldPath)
+	if err != nil {
+		return err
+	}
+	cur, err := readBenchReport(newPath)
+	if err != nil {
+		return err
+	}
+
+	type metric struct {
+		name     string
+		old, cur float64
+	}
+	ms := []metric{
+		{"incremental_states_per_sec", old.IncrementalStatesPerSec, cur.IncrementalStatesPerSec},
+		{"full_clone_states_per_sec", old.FullCloneStatesPerSec, cur.FullCloneStatesPerSec},
+		{"materialized_rows_per_sec", old.MaterializedRowsPerSec, cur.MaterializedRowsPerSec},
+	}
+	curParallel := map[int]float64{}
+	for i, p := range cur.Partitions {
+		if i < len(cur.ParallelRowsPerSec) {
+			curParallel[p] = cur.ParallelRowsPerSec[i]
+		}
+	}
+	for i, p := range old.Partitions {
+		if i >= len(old.ParallelRowsPerSec) {
+			break
+		}
+		if v, ok := curParallel[p]; ok {
+			ms = append(ms, metric{fmt.Sprintf("parallel_rows_per_sec[p=%d]", p), old.ParallelRowsPerSec[i], v})
+		}
+	}
+
+	var regressions []string
+	t := stats.NewTable("metric", "old", "new", "change", "verdict")
+	compared := 0
+	for _, m := range ms {
+		if m.old <= 0 {
+			continue
+		}
+		compared++
+		change := (m.cur - m.old) / m.old
+		verdict := "ok"
+		if m.cur < m.old*(1-tol) {
+			verdict = "REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("%s fell %.1f%% (%.0f -> %.0f, tolerance %.0f%%)",
+					m.name, -100*change, m.old, m.cur, 100*tol))
+		}
+		t.AddRow(m.name, fmt.Sprintf("%.0f", m.old), fmt.Sprintf("%.0f", m.cur),
+			fmt.Sprintf("%+.1f%%", 100*change), verdict)
+	}
+	if compared == 0 {
+		return fmt.Errorf("%s and %s share no nonzero throughput metrics — not the same report kind?", oldPath, newPath)
+	}
+	fmt.Print(t.String())
+	if cur.AllIdentical != nil && !*cur.AllIdentical {
+		regressions = append(regressions, "NEW report lost bit-identity (all_identical=false)")
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d regression(s):\n  %s", len(regressions), strings.Join(regressions, "\n  "))
+	}
+	fmt.Printf("no regressions: %d metric(s) within %.0f%% of %s\n", compared, 100*tol, oldPath)
 	return nil
 }
 

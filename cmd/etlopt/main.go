@@ -8,6 +8,8 @@
 //	etlopt -in workflow.etl [-algo hs|greedy|es] [-maxstates N]
 //	       [-workers N] [-timeout 30s] [-out optimized.etl] [-verbose]
 //	       [-lint] [-trace trace.json] [-metrics snap.json]
+//	       [-journal run.jsonl] [-trace-out trace-events.json]
+//	       [-cpuprofile cpu.pprof]
 //	       [-debug-addr localhost:6060] [-progress 1s]
 //
 // An interrupt (Ctrl-C) cancels the search and exits with an error.
@@ -20,6 +22,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime/pprof"
 	"time"
 
 	"etlopt/internal/analysis"
@@ -53,6 +56,9 @@ func run() error {
 		metrics   = flag.String("metrics", "", "write a JSON metrics snapshot here after the search (auditable with etlvet metrics)")
 		debugAddr = flag.String("debug-addr", "", "serve a live status page, /metrics (Prometheus) and /metrics.json on this address during the run")
 		progress  = flag.Duration("progress", 0, "print a search progress line to stderr at this interval (e.g. 1s; 0 = off)")
+		journal   = flag.String("journal", "", "record a structured run journal (JSONL flight recorder, auditable with etlvet obs) here")
+		traceOut  = flag.String("trace-out", "", "write the run's span tree as Chrome/Perfetto trace-event JSON here")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile here; search workers are labeled (etl=search, etl_worker=N)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -90,8 +96,34 @@ func run() error {
 	defer stop()
 
 	var reg *obs.Registry
-	if *metrics != "" || *debugAddr != "" || *progress > 0 {
+	if *metrics != "" || *debugAddr != "" || *progress > 0 || *traceOut != "" {
 		reg = obs.NewRegistry()
+	}
+	var jnl *obs.Journal
+	if *journal != "" {
+		jnl, err = obs.NewJournalFile(*journal, reg)
+		if err != nil {
+			return err
+		}
+		// Close on every exit path; the success path closes first (the
+		// second Close is a no-op) so write errors are reported.
+		defer jnl.Close()
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "etlopt: closing cpu profile:", err)
+			}
+		}()
 	}
 	if *debugAddr != "" {
 		bound, stopSrv, err := obs.Serve(*debugAddr, reg)
@@ -113,6 +145,8 @@ func run() error {
 		IncrementalCost: true,
 		Trace:           *tracePath != "",
 		Metrics:         reg,
+		Journal:         jnl,
+		PprofLabels:     *cpuProf != "",
 	}
 	if *progress > 0 {
 		opts.Progress = os.Stderr
@@ -165,6 +199,22 @@ func run() error {
 			return err
 		}
 		fmt.Printf("metrics snapshot written to %s\n", *metrics)
+	}
+
+	if jnl != nil {
+		// Journal write failures are non-fatal by design — the search
+		// already succeeded — but a truncated journal deserves a warning.
+		if err := jnl.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "etlopt: journal:", err)
+		}
+		fmt.Printf("run journal written to %s (%d events, %d dropped)\n",
+			*journal, jnl.Written(), jnl.Dropped())
+	}
+	if *traceOut != "" {
+		if err := reg.Snapshot().WriteTraceEventsFile(*traceOut); err != nil {
+			return err
+		}
+		fmt.Printf("trace events written to %s (load in Perfetto or chrome://tracing)\n", *traceOut)
 	}
 
 	if *dot {

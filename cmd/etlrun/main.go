@@ -10,7 +10,9 @@
 //	etlrun -in workflow.etl -data ./data [-optimize hs|greedy|es] [-workers N]
 //	       [-mode materialized|pipelined|parallel] [-partitions P]
 //	       [-checkpoint ./stage] [-impact NODE]
-//	       [-metrics snap.json] [-debug-addr localhost:6060] [-progress 1s]
+//	       [-metrics snap.json] [-journal run.jsonl]
+//	       [-trace-out trace-events.json] [-cpuprofile cpu.pprof]
+//	       [-debug-addr localhost:6060] [-progress 1s]
 //
 // Flag vocabulary (shared across etlrun, etlopt and etlbench): -workers
 // controls optimizer search parallelism (goroutines expanding the state
@@ -26,6 +28,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -63,6 +66,9 @@ func run() error {
 		metrics    = flag.String("metrics", "", "write a JSON metrics snapshot here after the run (auditable with etlvet metrics)")
 		debugAddr  = flag.String("debug-addr", "", "serve a live status page, /metrics (Prometheus) and /metrics.json on this address during the run")
 		progress   = flag.Duration("progress", 0, "print an optimizer progress line to stderr at this interval (e.g. 1s; 0 = off)")
+		journal    = flag.String("journal", "", "record a structured run journal (JSONL flight recorder, auditable with etlvet obs) here")
+		traceOut   = flag.String("trace-out", "", "write the run's span tree as Chrome/Perfetto trace-event JSON here")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile here; search workers and engine partitions are labeled")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -98,8 +104,34 @@ func run() error {
 	}
 
 	var reg *obs.Registry
-	if *metrics != "" || *debugAddr != "" || *progress > 0 {
+	if *metrics != "" || *debugAddr != "" || *progress > 0 || *traceOut != "" {
 		reg = obs.NewRegistry()
+	}
+	var jnl *obs.Journal
+	if *journal != "" {
+		jnl, err = obs.NewJournalFile(*journal, reg)
+		if err != nil {
+			return err
+		}
+		// Close on every exit path; the success path closes first (the
+		// second Close is a no-op) so write errors are reported.
+		defer jnl.Close()
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "etlrun: closing cpu profile:", err)
+			}
+		}()
 	}
 	if *debugAddr != "" {
 		bound, stopSrv, err := obs.Serve(*debugAddr, reg)
@@ -112,7 +144,10 @@ func run() error {
 
 	if *optimize != "" {
 		var res *core.Result
-		opts := core.Options{IncrementalCost: true, MaxStates: 30_000, Metrics: reg, Workers: *workers}
+		opts := core.Options{
+			IncrementalCost: true, MaxStates: 30_000, Metrics: reg, Workers: *workers,
+			Journal: jnl, PprofLabels: *cpuProf != "",
+		}
 		if *progress > 0 {
 			opts.Progress = os.Stderr
 			opts.ProgressInterval = *progress
@@ -151,8 +186,12 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
-	e := engine.New(bindings, engine.WithMode(engineMode), engine.WithMetrics(reg),
-		engine.WithPartitions(*partitions))
+	eopts := []engine.Option{engine.WithMode(engineMode), engine.WithMetrics(reg),
+		engine.WithPartitions(*partitions), engine.WithJournal(jnl)}
+	if *cpuProf != "" {
+		eopts = append(eopts, engine.WithPprofLabels())
+	}
+	e := engine.New(bindings, eopts...)
 
 	var result *engine.RunResult
 	if *checkpoint != "" {
@@ -212,6 +251,21 @@ func run() error {
 			return err
 		}
 		fmt.Printf("metrics snapshot written to %s\n", *metrics)
+	}
+	if jnl != nil {
+		// Journal write failures are non-fatal by design — the load
+		// already completed — but a truncated journal deserves a warning.
+		if err := jnl.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "etlrun: journal:", err)
+		}
+		fmt.Printf("run journal written to %s (%d events, %d dropped)\n",
+			*journal, jnl.Written(), jnl.Dropped())
+	}
+	if *traceOut != "" {
+		if err := reg.Snapshot().WriteTraceEventsFile(*traceOut); err != nil {
+			return err
+		}
+		fmt.Printf("trace events written to %s (load in Perfetto or chrome://tracing)\n", *traceOut)
 	}
 	return nil
 }

@@ -15,6 +15,11 @@
 //	                                validate a -metrics snapshot: internal
 //	                                consistency plus presence of every
 //	                                named series
+//	etlvet obs <run.jsonl>...       render a run report from a -journal
+//	                                flight recording (phase timeline, top-k
+//	                                slow nodes, selectivity drift, cache hit
+//	                                rates, drop accounting) and audit its
+//	                                integrity
 //	etlvet passes                   list every registered pass
 //
 // Every subcommand shares one reporting surface: -format {text,json,sarif}
@@ -52,6 +57,9 @@ func usage(w io.Writer) {
   etlvet metrics  [flags] <snap.json> [series]...
                                           validate a -metrics snapshot and
                                           require series
+  etlvet obs      [flags] <run.jsonl>...  render a run report from a -journal
+                                          flight recording and audit its
+                                          integrity
   etlvet passes   [flags]                 list registered passes
 
 flags (shared by every subcommand):
@@ -63,6 +71,8 @@ flags (shared by every subcommand):
                     instead of reporting them
   -card-bound N     (workflow only) flag nodes whose estimated cardinality
                     exceeds N x the total source rows (default 10)
+  -top N            (obs only) rows shown in the slow-node and drift
+                    tables (default 5; 0 = all)
 
 exit status:
   0  clean — no warnings (advice alone never fails)
@@ -77,16 +87,20 @@ type options struct {
 	baselinePath  string
 	writeBaseline bool
 	cardBound     float64
+	topK          int
 }
 
-func (o *options) bind(fs *flag.FlagSet, workflowCmd bool) {
+func (o *options) bind(fs *flag.FlagSet, cmd string) {
 	fs.StringVar(&o.format, "format", "text", "output format: text, json or sarif")
 	fs.BoolVar(&o.jsonShorthand, "json", false, "shorthand for -format json")
 	fs.StringVar(&o.baselinePath, "baseline", "", "baseline file of acknowledged findings")
 	fs.BoolVar(&o.writeBaseline, "write-baseline", false, "rewrite the -baseline file from current findings")
-	if workflowCmd {
+	if cmd == "workflow" {
 		fs.Float64Var(&o.cardBound, "card-bound", analysis.DefaultWorkflowOptions().CardinalityBound,
 			"cardinality-blowup threshold as a multiple of total source rows")
+	}
+	if cmd == "obs" {
+		fs.IntVar(&o.topK, "top", 5, "rows shown in the slow-node and drift tables (0 = all)")
 	}
 }
 
@@ -115,7 +129,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case "-h", "--help", "help":
 		usage(stdout)
 		return 0
-	case "workflow", "trace", "src", "metrics", "passes":
+	case "workflow", "trace", "src", "metrics", "obs", "passes":
 	default:
 		usage(stderr)
 		return 2
@@ -124,7 +138,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var o options
 	fs := flag.NewFlagSet("etlvet "+cmd, flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	o.bind(fs, cmd == "workflow")
+	o.bind(fs, cmd)
 	if err := fs.Parse(rest); err != nil {
 		return 2
 	}
@@ -138,7 +152,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runPasses(&o, stdout, stderr)
 	}
 	switch cmd {
-	case "workflow", "trace", "metrics":
+	case "workflow", "trace", "metrics", "obs":
 		if len(rest) == 0 {
 			usage(stderr)
 			return 2
@@ -189,6 +203,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return auditMetricsFile(path, rest[1:])
 		}) {
 			return 2
+		}
+	case "obs":
+		// The report renders as it goes (text is the product here); only
+		// integrity problems flow through the finding/baseline layer.
+		reportTo := stdout
+		if o.format != "text" {
+			reportTo = io.Discard
+		}
+		for _, arg := range rest {
+			if !collect(arg, func(path string) ([]analysis.Finding, error) {
+				return renderObsReport(reportTo, path, o.topK)
+			}) {
+				return 2
+			}
 		}
 	}
 

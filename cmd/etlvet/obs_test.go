@@ -1,0 +1,221 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"etlopt/internal/obs"
+)
+
+// writeObsJournal records a small but fully populated flight-recorder
+// journal — every event type the report has a section for — and returns
+// its path.
+func writeObsJournal(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	j, err := obs.NewJournalFile(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Emit(obs.RunEvent("start", "search/HS"))
+	j.Emit(obs.PhaseEvent("expand", "start"))
+	for i := 0; i < 4; i++ {
+		j.Emit(obs.TransitionEvent("SWA", "attempt", 0))
+	}
+	j.Emit(obs.TransitionEvent("SWA", "accept", 0))
+	j.Emit(obs.TransitionEvent("SWA", "prune", 0))
+	j.Emit(obs.TransitionEvent("SWA", "best", 41.5))
+	j.Emit(obs.TransitionEvent("FAC", "attempt", 0))
+	j.Emit(obs.CacheEvent("expand", true))
+	j.Emit(obs.CacheEvent("expand", false))
+	j.Emit(obs.CacheEvent("expand", false))
+	j.Emit(obs.PhaseEvent("expand", "end"))
+	j.Emit(obs.RunEvent("end", "search/HS"))
+	j.Emit(obs.RunEvent("start", "engine/parallel"))
+	j.Emit(obs.NodeEvent("extract", 100, 0.25))
+	j.Emit(obs.NodeEvent("extract", 100, 0.25))
+	j.Emit(obs.NodeEvent("filter", 40, 0.5))
+	j.Emit(obs.NodeEvent("load", 40, 0.01))
+	j.Emit(obs.BatchEvent("filter", 1, 20))
+	j.Emit(obs.BatchEvent("filter", 0, 20))
+	j.Emit(obs.ExchangeEvent("join", 37))
+	j.Emit(obs.CheckpointEvent("filter", "staged", 40))
+	j.Emit(obs.DriftEvent("filter", 0.4, 0.5))
+	j.Emit(obs.DriftEvent("load", 1.0, 1.0))
+	j.Emit(obs.RunEvent("end", "engine/parallel"))
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestObsReportSections: a well-formed journal renders every report
+// section, audits clean, and exits 0.
+func TestObsReportSections(t *testing.T) {
+	path := writeObsJournal(t)
+	out, errb, code := runCLI(t, "obs", path)
+	if code != 0 {
+		t.Fatalf("clean journal should exit 0, got %d\nstdout: %s\nstderr: %s", code, out, errb)
+	}
+	for _, want := range []string{
+		"== " + path + " ==",
+		"run start search/HS",
+		"run end   engine/parallel",
+		"phase timeline:",
+		"expand",
+		"transition funnel:",
+		"SWA",
+		"cache hit rates:",
+		"33.3%",
+		"slow node(s) of 3",
+		"filter",
+		"selectivity drift (observed vs modeled)",
+		"engine activity:",
+		"2 partition batch(es)",
+		"37 row(s) through repartition exchanges",
+		"1 checkpoint node(s) staged",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "no findings") {
+		t.Errorf("clean journal should audit clean:\n%s", out)
+	}
+}
+
+// TestObsTopK: -top trims both the slow-node and the drift tables.
+func TestObsTopK(t *testing.T) {
+	path := writeObsJournal(t)
+	out, _, code := runCLI(t, "obs", "-top", "1", path)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "top 1 slow node(s) of 3") {
+		t.Errorf("-top 1 did not trim the node table:\n%s", out)
+	}
+	if !strings.Contains(out, "top 1 of 2") {
+		t.Errorf("-top 1 did not trim the drift table:\n%s", out)
+	}
+	// The slowest node leads; the cheapest must be cut.
+	if !strings.Contains(out, "filter") || strings.Contains(out, "load  ") {
+		t.Errorf("wrong node survived -top 1:\n%s", out)
+	}
+}
+
+// TestObsTruncatedJournal: a journal without its summary trailer (a
+// crashed or killed recording run) is a warning and exits 1.
+func TestObsTruncatedJournal(t *testing.T) {
+	full := writeObsJournal(t)
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	path := filepath.Join(t.TempDir(), "truncated.jsonl")
+	if err := os.WriteFile(path, []byte(strings.Join(lines[:len(lines)-1], "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, _, code := runCLI(t, "obs", "-format", "json", path)
+	if code != 1 {
+		t.Fatalf("truncated journal should exit 1, got %d\n%s", code, out)
+	}
+	fs := decodeFindings(t, out)
+	found := false
+	for _, f := range fs {
+		if f.Check == "obs" && strings.Contains(f.Message, "no summary trailer") {
+			found = true
+			if f.File != path {
+				t.Errorf("finding not anchored to the journal: %q", f.File)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("want a no-summary-trailer warning, got %v", fs)
+	}
+}
+
+// TestObsAuditFindings: handcrafted malformed journals surface each
+// integrity check, and drop accounting is advice, not a warning.
+func TestObsAuditFindings(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	for _, tc := range []struct {
+		name, body, want string
+		exit             int
+	}{
+		{"empty", "", "journal is empty", 1},
+		{"summary-not-last",
+			`{"seq":1,"t":"summary","off":0.2,"events":1}` + "\n" +
+				`{"seq":2,"t":"run","off":0.1,"action":"start"}` + "\n",
+			"summary event is not the last record", 1},
+		{"count-mismatch",
+			`{"seq":1,"t":"run","off":0.1,"action":"start"}` + "\n" +
+				`{"seq":2,"t":"summary","off":0.2,"events":7}` + "\n",
+			"summary claims 7 events, file holds 1", 1},
+		{"write-errors",
+			`{"seq":1,"t":"run","off":0.1,"action":"start"}` + "\n" +
+				`{"seq":2,"t":"summary","off":0.2,"events":1,"errors":3}` + "\n",
+			"3 event(s) lost to write failures", 1},
+		{"duplicate-seq",
+			`{"seq":5,"t":"run","off":0.1,"action":"start"}` + "\n" +
+				`{"seq":5,"t":"run","off":0.2,"action":"end"}` + "\n" +
+				`{"seq":6,"t":"summary","off":0.3,"events":2}` + "\n",
+			"duplicate event sequence number 5", 1},
+		{"negative-offset",
+			`{"seq":1,"t":"run","off":-0.5,"action":"start"}` + "\n" +
+				`{"seq":2,"t":"summary","off":0.2,"events":1}` + "\n",
+			"negative time offset", 1},
+		{"negative-node-sec",
+			`{"seq":1,"t":"node","off":0.1,"node":"x","rows":5,"sec":-1}` + "\n" +
+				`{"seq":2,"t":"summary","off":0.2,"events":1}` + "\n",
+			"node x has negative wall time", 1},
+		// Drops are legal — the journal is lossy by design — so a
+		// drop-only journal is advice and still exits 0.
+		{"dropped-is-advice",
+			`{"seq":1,"t":"run","off":0.1,"action":"start"}` + "\n" +
+				`{"seq":2,"t":"summary","off":0.2,"events":1,"dropped":9}` + "\n",
+			"dropped under buffer pressure", 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			path := write(tc.name+".jsonl", tc.body)
+			out, errb, code := runCLI(t, "obs", path)
+			if code != tc.exit {
+				t.Fatalf("exit %d, want %d\nstdout: %s\nstderr: %s", code, tc.exit, out, errb)
+			}
+			if !strings.Contains(out, tc.want) {
+				t.Errorf("findings missing %q:\nstdout: %s", tc.want, out)
+			}
+		})
+	}
+}
+
+// TestObsUnreadableJournal: a missing file is an operational error
+// (exit 2), not a finding.
+func TestObsUnreadableJournal(t *testing.T) {
+	_, errb, code := runCLI(t, "obs", filepath.Join(t.TempDir(), "nope.jsonl"))
+	if code != 2 {
+		t.Fatalf("missing journal should exit 2, got %d\nstderr: %s", code, errb)
+	}
+}
+
+// TestBadRatio pins the non-finite guard used by the drift audit.
+func TestBadRatio(t *testing.T) {
+	if badRatio(0.5) || badRatio(0) || badRatio(-3) {
+		t.Error("finite values flagged as bad")
+	}
+	nan := func() float64 { z := 0.0; return z / z }()
+	inf := func() float64 { z := 0.0; return 1 / z }()
+	if !badRatio(nan) || !badRatio(inf) || !badRatio(-inf) {
+		t.Error("non-finite values not flagged")
+	}
+}

@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"time"
 
 	"etlopt/internal/cost"
@@ -96,6 +98,19 @@ type Options struct {
 	// ProgressInterval is the period of the Progress line; 0 means one
 	// second.
 	ProgressInterval time.Duration
+	// Journal, when non-nil, receives the search's flight-recorder event
+	// stream (see obs.Journal): run and phase boundaries, every transition
+	// attempt/accept/prune, new-best transitions with their cost, and
+	// expansion-cache hits and misses. Emission is non-blocking and
+	// write-only — a saturated or failing journal drops events (counted)
+	// rather than perturbing the search — so results are bit-identical with
+	// the journal on or off (pinned by TestJournalDoesNotAffectSearch).
+	Journal *obs.Journal
+	// PprofLabels, when true, tags the search's worker goroutines with
+	// runtime/pprof labels (etl=search, etl_worker=<index>) so CPU profiles
+	// attribute samples per worker. Off by default; labels cost a small
+	// per-pool-run overhead and are only useful under active profiling.
+	PprofLabels bool
 	// Trace enables structured transition tracing: every transition on
 	// the derivation path of each retained state is recorded as a
 	// TraceStep, and Result.Steps carries the full path from S0 to the
@@ -219,7 +234,7 @@ func newSearch(ctx context.Context, opts Options) *search {
 		pool:    newPool(opts.Workers),
 		visited: newVisitedSet(),
 		model:   opts.Model,
-		m:       newSearchMetrics(opts.Metrics, opts.Workers),
+		m:       newSearchMetrics(opts.Metrics, opts.Journal, opts.Workers),
 	}
 	if !opts.DisableIncrementalExpand {
 		s.model = cost.NewMemo(opts.Model)
@@ -232,7 +247,21 @@ func newSearch(ctx context.Context, opts Options) *search {
 		}
 	}
 	s.pool.busy = s.m.busyHook()
+	if opts.PprofLabels {
+		s.pool.wrap = searchLabelWrap(ctx)
+	}
 	return s
+}
+
+// searchLabelWrap builds the pool's pprof-label wrapper: each worker's
+// body runs under etl=search, etl_worker=<index> labels so CPU profiles
+// split samples by worker. Labels never touch results — they only tag the
+// goroutine for the profiler.
+func searchLabelWrap(ctx context.Context) func(worker int, fn func()) {
+	return func(worker int, fn func()) {
+		pprof.Do(ctx, pprof.Labels("etl", "search", "etl_worker", strconv.Itoa(worker)),
+			func(context.Context) { fn() })
+	}
 }
 
 // intern canonicalizes a signature through the visited set's interning
@@ -357,8 +386,10 @@ func (s *search) makeState(parent *state, res *transitions.Result, sig string) (
 	} else if s.xcache != nil {
 		fp := g.Fingerprint()
 		if c, ok := s.xcache.get(sig, fp); ok {
+			s.m.cacheLookup(true)
 			costing = c
 		} else {
+			s.m.cacheLookup(false)
 			c, err := s.evaluate(parent, g, res.Dirty)
 			if err != nil {
 				return nil, err

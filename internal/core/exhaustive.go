@@ -140,6 +140,8 @@ func Exhaustive(ctx context.Context, g0 *workflow.Graph, opts Options) (*Result,
 	span := s.m.reg.StartSpan("search/ES")
 	defer span.End()
 	s.startProgress("ES")
+	s.m.runEvent("start", "ES")
+	defer s.m.runEvent("end", "ES")
 
 	s0, err := s.initialState(g0)
 	if err != nil {
@@ -172,6 +174,7 @@ func Exhaustive(ctx context.Context, g0 *workflow.Graph, opts Options) (*Result,
 				sig = s.signatureOf(cur, res)
 			}
 			if !s.admit(sig) {
+				s.m.prune(res.Applied.Op)
 				continue
 			}
 			s.m.accept(res.Applied.Op)
@@ -188,6 +191,7 @@ func Exhaustive(ctx context.Context, g0 *workflow.Graph, opts Options) (*Result,
 				(st.costing.Total == best.costing.Total && st.sig < best.sig) {
 				best = st
 				s.m.bestCost.Set(best.costing.Total)
+				s.m.best(res.Applied.Op, best.costing.Total)
 			}
 			queue.push(st)
 		}

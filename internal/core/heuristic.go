@@ -51,6 +51,8 @@ func heuristicSearch(ctx context.Context, alg string, g0 *workflow.Graph, opts O
 	span := s.m.reg.StartSpan("search/" + alg)
 	defer span.End()
 	s.startProgress(alg)
+	s.m.runEvent("start", alg)
+	defer s.m.runEvent("end", alg)
 
 	s0, err := s.initialState(g0)
 	if err != nil {
@@ -59,6 +61,7 @@ func heuristicSearch(ctx context.Context, alg string, g0 *workflow.Graph, opts O
 
 	// Pre-processing (Ln 4-8): apply MER per the merge constraints.
 	pre := span.Child("preprocess")
+	preEnd := s.m.phase("preprocess")
 	cur := s0
 	for _, pair := range opts.MergeConstraints {
 		s.m.attempt("MER")
@@ -89,21 +92,25 @@ func heuristicSearch(ctx context.Context, alg string, g0 *workflow.Graph, opts O
 	}
 
 	pre.End()
+	preEnd()
 	sMin := cur
 	s.m.bestCost.Set(sMin.costing.Total)
 
 	// Phase I (Ln 9-13): swap optimization inside each local group.
 	if !opts.DisablePhaseI {
 		p1 := span.Child("phaseI")
+		p1End := s.m.phase("phaseI")
 		sMin = s.optimizeLocalGroups(sMin, greedy)
 		s.m.bestCost.Set(sMin.costing.Total)
 		p1.End()
+		p1End()
 	}
 
 	visited := []*state{sMin}
 
 	// Phase II (Ln 14-20): shift homologous pairs forward and factorize.
 	p2 := span.Child("phaseII")
+	p2End := s.m.phase("phaseII")
 	for _, hp := range homologous {
 		if !s.budgetLeft() {
 			break
@@ -131,6 +138,7 @@ func heuristicSearch(ctx context.Context, alg string, g0 *workflow.Graph, opts O
 		// rendered in full and only interned.
 		sig := s.intern(res.Graph.Signature())
 		if !s.admit(sig) {
+			s.m.prune("FAC")
 			continue
 		}
 		s.m.accept("FAC")
@@ -141,10 +149,12 @@ func heuristicSearch(ctx context.Context, alg string, g0 *workflow.Graph, opts O
 		if st.costing.Total < sMin.costing.Total {
 			sMin = st
 			s.m.bestCost.Set(sMin.costing.Total)
+			s.m.best("FAC", sMin.costing.Total)
 		}
 		visited = append(visited, st)
 	}
 	p2.End()
+	p2End()
 
 	// Phase III (Ln 21-28): distribute over the accumulated states. The
 	// distributable activities of the *initial* state are used — activities
@@ -153,6 +163,7 @@ func heuristicSearch(ctx context.Context, alg string, g0 *workflow.Graph, opts O
 	// is itself examined for further distributions, so several selections
 	// can be pushed into the branches of the same flow.
 	p3 := span.Child("phaseIII")
+	p3End := s.m.phase("phaseIII")
 	unvisited := append([]*state(nil), visited...)
 	for len(unvisited) > 0 && s.budgetLeft() {
 		si := unvisited[0]
@@ -177,6 +188,7 @@ func heuristicSearch(ctx context.Context, alg string, g0 *workflow.Graph, opts O
 			}
 			sig := s.intern(res.Graph.Signature())
 			if !s.admit(sig) {
+				s.m.prune("DIS")
 				continue
 			}
 			s.m.accept("DIS")
@@ -188,6 +200,7 @@ func heuristicSearch(ctx context.Context, alg string, g0 *workflow.Graph, opts O
 			if st.costing.Total < sMin.costing.Total {
 				sMin = st
 				s.m.bestCost.Set(sMin.costing.Total)
+				s.m.best("DIS", sMin.costing.Total)
 			}
 			visited = append(visited, st)
 			// Expand only improving distributions: chains that keep
@@ -207,6 +220,7 @@ func heuristicSearch(ctx context.Context, alg string, g0 *workflow.Graph, opts O
 	}
 
 	p3.End()
+	p3End()
 
 	// Phase IV (Ln 29-35): repeat the swap optimization on every state
 	// produced so far, since factorizations and distributions changed the
@@ -214,6 +228,7 @@ func heuristicSearch(ctx context.Context, alg string, g0 *workflow.Graph, opts O
 	// that a bounded budget is spent where Phase IV is most likely to find
 	// the optimum.
 	p4 := span.Child("phaseIV")
+	p4End := s.m.phase("phaseIV")
 	sort.SliceStable(visited, func(i, j int) bool {
 		return visited[i].costing.Total < visited[j].costing.Total
 	})
@@ -225,9 +240,11 @@ func heuristicSearch(ctx context.Context, alg string, g0 *workflow.Graph, opts O
 		if opt.costing.Total < sMin.costing.Total {
 			sMin = opt
 			s.m.bestCost.Set(sMin.costing.Total)
+			s.m.best("SWA", sMin.costing.Total)
 		}
 	}
 	p4.End()
+	p4End()
 
 	if err := s.aborted(); err != nil {
 		return nil, err
@@ -327,6 +344,8 @@ func (s *search) optimizeLocalGroupsFrom(st *state, greedy bool) *state {
 		for _, sig := range out.admits {
 			if s.admit(sig) {
 				s.m.accept("SWA")
+			} else {
+				s.m.prune("SWA")
 			}
 		}
 		if out.best == nil || len(out.best.swaps) == 0 {

@@ -33,6 +33,12 @@ func opIndex(op string) int {
 // (pinned by TestMetricsDoNotAffectSearch).
 type searchMetrics struct {
 	reg *obs.Registry
+	// j, when non-nil, is the flight recorder receiving per-event records
+	// (transition attempts/accepts/prunes, phase boundaries, cache
+	// lookups). Like the instrument handles, it is write-only and nil-safe:
+	// with Options.Journal unset every emission degrades to one nil check
+	// and event structs are never even constructed.
+	j *obs.Journal
 
 	generated  *obs.Counter // search_states_generated_total: admission attempts incl. duplicates
 	visited    *obs.Counter // search_states_visited_total: distinct admitted states
@@ -66,9 +72,10 @@ type searchMetrics struct {
 // → all-nil handles). Series are registered eagerly so a snapshot taken
 // after any run carries the full schema, zeros included — consumers like
 // `etlvet metrics` can then assert on series presence.
-func newSearchMetrics(r *obs.Registry, workers int) *searchMetrics {
+func newSearchMetrics(r *obs.Registry, j *obs.Journal, workers int) *searchMetrics {
 	m := &searchMetrics{
 		reg:         r,
+		j:           j,
 		generated:   r.Counter("search_states_generated_total"),
 		visited:     r.Counter("search_states_visited_total"),
 		deduped:     r.Counter("search_states_deduped_total"),
@@ -101,12 +108,65 @@ func (m *searchMetrics) attempt(op string) {
 	if i := opIndex(op); i >= 0 {
 		m.attempts[i].Inc()
 	}
+	if m.j != nil {
+		m.j.Emit(obs.TransitionEvent(op, "attempt", 0))
+	}
 }
 
 // accept records an admitted (non-duplicate) state reached by the kind.
 func (m *searchMetrics) accept(op string) {
 	if i := opIndex(op); i >= 0 {
 		m.accepts[i].Inc()
+	}
+	if m.j != nil {
+		m.j.Emit(obs.TransitionEvent(op, "accept", 0))
+	}
+}
+
+// prune records a generated state of the given kind rejected by the
+// visited set. The deduped counter is already bumped inside admit — this
+// only journals the event, with the transition kind admit cannot know.
+func (m *searchMetrics) prune(op string) {
+	if m.j != nil {
+		m.j.Emit(obs.TransitionEvent(op, "prune", 0))
+	}
+}
+
+// best records a new minimum-cost state reached by the given kind ("" when
+// the winning transition is not singular, e.g. a replayed swap sequence).
+func (m *searchMetrics) best(op string, cost float64) {
+	if m.j != nil {
+		m.j.Emit(obs.TransitionEvent(op, "best", cost))
+	}
+}
+
+// cacheLookup records one expansion-cache probe. Safe from worker
+// goroutines (the journal is concurrency-safe); the aggregate hit/miss
+// counters flush separately in flushCacheMetrics.
+func (m *searchMetrics) cacheLookup(hit bool) {
+	if m.j != nil {
+		m.j.Emit(obs.CacheEvent("expand", hit))
+	}
+}
+
+// noopEnd is the shared zero-cost closure phase returns when journaling is
+// off, so disabled phases allocate nothing.
+var noopEnd = func() {}
+
+// phase journals a phase boundary: it emits the start event and returns
+// the closure that emits the matching end event.
+func (m *searchMetrics) phase(name string) func() {
+	if m.j == nil {
+		return noopEnd
+	}
+	m.j.Emit(obs.PhaseEvent(name, "start"))
+	return func() { m.j.Emit(obs.PhaseEvent(name, "end")) }
+}
+
+// runEvent journals a run boundary ("start"/"end") for the named algorithm.
+func (m *searchMetrics) runEvent(action, alg string) {
+	if m.j != nil {
+		m.j.Emit(obs.RunEvent(action, "search/"+alg))
 	}
 }
 

@@ -24,6 +24,10 @@ type pool struct {
 	// must be safe for concurrent use; nil (the default) keeps run free of
 	// clock reads.
 	busy func(worker int, d time.Duration)
+	// wrap, when non-nil, wraps each worker's item loop — the hook behind
+	// Options.PprofLabels, which tags worker goroutines for the CPU
+	// profiler. The wrapper must call fn exactly once, synchronously.
+	wrap func(worker int, fn func())
 }
 
 func newPool(workers int) *pool {
@@ -48,9 +52,11 @@ func (p *pool) run(n int, fn func(i int)) {
 			start := time.Now()
 			defer func() { p.busy(0, time.Since(start)) }()
 		}
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
+		p.wrapped(0, func() {
+			for i := 0; i < n; i++ {
+				fn(i)
+			}
+		})
 		return
 	}
 	w := p.workers
@@ -67,14 +73,25 @@ func (p *pool) run(n int, fn func(i int)) {
 				start := time.Now()
 				defer func() { p.busy(worker, time.Since(start)) }()
 			}
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
+			p.wrapped(worker, func() {
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					fn(i)
 				}
-				fn(i)
-			}
+			})
 		}(k)
 	}
 	wg.Wait()
+}
+
+// wrapped runs body under the pool's wrap hook, or directly without one.
+func (p *pool) wrapped(worker int, body func()) {
+	if p.wrap == nil {
+		body()
+		return
+	}
+	p.wrap(worker, body)
 }

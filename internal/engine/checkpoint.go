@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"etlopt/internal/data"
+	"etlopt/internal/obs"
 	"etlopt/internal/workflow"
 )
 
@@ -92,6 +93,7 @@ func (c *CheckpointRunner) Run(ctx context.Context, g *workflow.Graph) (*RunResu
 			} else if ok {
 				out[id] = rows
 				res.NodeRows[id] = len(rows)
+				c.checkpointEvent("restored", id, n, len(rows))
 				continue
 			}
 		}
@@ -133,6 +135,7 @@ func (c *CheckpointRunner) Run(ctx context.Context, g *workflow.Graph) (*RunResu
 			if err := c.saveStage(id, g.Node(id).Out, out[id]); err != nil {
 				return nil, err
 			}
+			c.checkpointEvent("staged", id, n, len(out[id]))
 		}
 	}
 
@@ -141,6 +144,16 @@ func (c *CheckpointRunner) Run(ctx context.Context, g *workflow.Graph) (*RunResu
 		return nil, err
 	}
 	return res, nil
+}
+
+// checkpointEvent journals one staging step ("staged" when a node's
+// output is persisted, "restored" when a resumed run short-circuits a
+// node from disk) through the wrapped engine's flight recorder; a no-op
+// without one.
+func (c *CheckpointRunner) checkpointEvent(action string, id workflow.NodeID, n *workflow.Node, rows int) {
+	if j := c.engine.journal; j != nil {
+		j.Emit(obs.CheckpointEvent(nodeKey(id, n), action, rows))
+	}
 }
 
 // prepareStaging validates or initializes the manifest. A signature

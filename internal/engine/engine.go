@@ -48,6 +48,20 @@ const (
 	Parallel
 )
 
+// String names the mode as it appears in metric labels and journal events.
+func (m Mode) String() string {
+	switch m {
+	case Materialized:
+		return "materialized"
+	case Pipelined:
+		return "pipelined"
+	case Parallel:
+		return "parallel"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
 // Engine executes workflows against bound recordsets.
 type Engine struct {
 	mode     Mode
@@ -58,6 +72,12 @@ type Engine struct {
 	// metrics, when non-nil, receives the engine's observability series
 	// (see WithMetrics); nil disables collection.
 	metrics *obs.Registry
+	// journal, when non-nil, receives the flight-recorder event stream of
+	// each run (see WithJournal); nil disables emission.
+	journal *obs.Journal
+	// pprofLabels tags partition workers with runtime/pprof labels (see
+	// WithPprofLabels).
+	pprofLabels bool
 	// lookups, when non-nil, is a run-scoped shared cache of materialized
 	// surrogate-key/lookup tables: Parallel mode builds each table once and
 	// every partition references the same read-only map.
@@ -129,34 +149,33 @@ func (e *Engine) Run(ctx context.Context, g *workflow.Graph) (*RunResult, error)
 	}
 	start := time.Now()
 	var (
-		res      *RunResult
-		err      error
-		modeName string
+		res *RunResult
+		err error
 	)
 	partitions := 0
 	if e.mode == Parallel {
 		partitions = e.partitionCount()
 	}
+	modeName := e.mode.String()
 	rm := e.newRunMetrics(g, partitions)
+	if e.journal != nil {
+		e.journal.Emit(obs.RunEvent("start", "engine/"+modeName))
+		defer e.journal.Emit(obs.RunEvent("end", "engine/"+modeName))
+	}
+	span := e.metrics.StartSpan("engine/" + modeName)
+	rm.setSpan(span)
 	switch e.mode {
 	case Materialized:
-		modeName = "materialized"
-		span := e.metrics.StartSpan("engine/materialized")
 		res, err = e.runMaterialized(ctx, g, rm)
-		span.End()
 	case Pipelined:
-		modeName = "pipelined"
-		span := e.metrics.StartSpan("engine/pipelined")
 		res, err = e.runPipelined(ctx, g, rm)
-		span.End()
 	case Parallel:
-		modeName = "parallel"
-		span := e.metrics.StartSpan("engine/parallel")
 		res, err = e.runParallel(ctx, g, rm)
-		span.End()
 	default:
+		span.End()
 		return nil, fmt.Errorf("engine: unknown mode %d", e.mode)
 	}
+	span.End()
 	if err != nil {
 		return nil, err
 	}
@@ -227,15 +246,21 @@ func (e *Engine) runMaterialized(ctx context.Context, g *workflow.Graph, rm *run
 }
 
 // execActivityTimed runs one activity, observing its latency into the
-// per-node stage histogram when metrics are enabled.
+// per-node stage histogram, a per-node child span, and the journal's
+// node event when any of those sinks is enabled. With every sink off the
+// clock is never read.
 func (e *Engine) execActivityTimed(id workflow.NodeID, n *workflow.Node, schemas []data.Schema, inputs []data.Rows, rm *runMetrics) (data.Rows, error) {
 	h := rm.latency(id)
-	if h == nil {
+	if h == nil && !rm.journaling() {
 		return e.execActivity(n, schemas, inputs)
 	}
+	sp := rm.nodeSpan(id)
 	start := time.Now()
 	rows, err := e.execActivity(n, schemas, inputs)
-	h.Observe(time.Since(start).Seconds())
+	sec := time.Since(start).Seconds()
+	sp.End()
+	h.Observe(sec)
+	rm.nodeEvent(id, len(rows), sec)
 	return rows, err
 }
 

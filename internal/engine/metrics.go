@@ -15,10 +15,25 @@ import (
 // registry leaves collection disabled (the default).
 func WithMetrics(r *obs.Registry) Option { return func(e *Engine) { e.metrics = r } }
 
+// WithJournal attaches a flight-recorder journal: each run then emits
+// typed events (run boundaries, per-node row counts and wall times,
+// per-partition batch sizes, repartition exchanges, selectivity drift)
+// into the journal's bounded stream. Like the metrics registry, the
+// journal is write-only and non-blocking, so execution results are
+// bit-identical with journaling on or off (pinned by
+// TestJournalDoesNotAffectExecution). A nil journal disables emission.
+func WithJournal(j *obs.Journal) Option { return func(e *Engine) { e.journal = j } }
+
+// WithPprofLabels tags Parallel mode's partition workers with
+// runtime/pprof labels (etl=engine, etl_node, etl_partition), so CPU
+// profiles attribute samples to the node and partition that burned them.
+func WithPprofLabels() Option { return func(e *Engine) { e.pprofLabels = true } }
+
 // runMetrics carries the per-node instrument handles of one run,
 // prefetched before execution so hot paths never touch the registry's
-// mutex. A nil *runMetrics (metrics disabled) makes every accessor return
-// a nil handle, which no-ops.
+// mutex, plus the run's journal handle and node-key cache. A nil
+// *runMetrics (metrics and journal both disabled) makes every accessor
+// return a nil handle, which no-ops.
 type runMetrics struct {
 	rowsOut      map[workflow.NodeID]*obs.Counter   // engine_rows_out_total{node}
 	nodeSec      map[workflow.NodeID]*obs.Histogram // engine_node_seconds{node}
@@ -28,6 +43,14 @@ type runMetrics struct {
 	partRows  map[workflow.NodeID][]*obs.Counter // engine_partition_rows_out_total{node,partition}
 	partBusy  []*obs.Gauge                       // engine_partition_busy_seconds{partition}
 	exchanged map[workflow.NodeID]*obs.Counter   // engine_exchange_rows_total{node}
+
+	// j is the run's flight recorder (nil: journaling off); keys caches
+	// each node's metric label so journal emission never re-renders it.
+	j    *obs.Journal
+	keys map[workflow.NodeID]string
+	// span is the run's mode span; per-node spans child from it so the
+	// trace export shows node execution nested under the run.
+	span *obs.Span
 }
 
 // nodeKey renders the per-node metric label: the node ID plus its
@@ -37,16 +60,21 @@ func nodeKey(id workflow.NodeID, n *workflow.Node) string {
 }
 
 // newRunMetrics prefetches handles for every node of the graph; nil when
-// the engine has no registry. partitions > 0 (Parallel mode) additionally
-// prefetches the per-partition and exchange series.
+// the engine has neither a registry nor a journal. partitions > 0
+// (Parallel mode) additionally prefetches the per-partition and exchange
+// series. With a journal but no registry every instrument handle is nil
+// (the nil registry hands out nil handles) and only the journal side is
+// live.
 func (e *Engine) newRunMetrics(g *workflow.Graph, partitions int) *runMetrics {
-	if e.metrics == nil {
+	if e.metrics == nil && e.journal == nil {
 		return nil
 	}
 	m := &runMetrics{
 		rowsOut:      make(map[workflow.NodeID]*obs.Counter),
 		nodeSec:      make(map[workflow.NodeID]*obs.Histogram),
 		backpressure: make(map[workflow.NodeID]*obs.Counter),
+		j:            e.journal,
+		keys:         make(map[workflow.NodeID]string),
 	}
 	if partitions > 0 {
 		m.partRows = make(map[workflow.NodeID][]*obs.Counter)
@@ -58,6 +86,7 @@ func (e *Engine) newRunMetrics(g *workflow.Graph, partitions int) *runMetrics {
 	}
 	for _, id := range g.Nodes() {
 		key := nodeKey(id, g.Node(id))
+		m.keys[id] = key
 		m.rowsOut[id] = e.metrics.Counter("engine_rows_out_total", "node", key)
 		m.backpressure[id] = e.metrics.Counter("engine_backpressure_waits_total", "node", key)
 		if g.Node(id).Kind == workflow.KindActivity {
@@ -130,13 +159,56 @@ func (m *runMetrics) exchange(id workflow.NodeID) *obs.Counter {
 	return m.exchanged[id]
 }
 
+// journaling reports whether per-event journal emission is live.
+func (m *runMetrics) journaling() bool { return m != nil && m.j != nil }
+
+// setSpan installs the run's mode span (nil-safe).
+func (m *runMetrics) setSpan(sp *obs.Span) {
+	if m != nil {
+		m.span = sp
+	}
+}
+
+// nodeSpan opens a per-node child span under the mode span; nil (no-op
+// End) when spans are disabled.
+func (m *runMetrics) nodeSpan(id workflow.NodeID) *obs.Span {
+	if m == nil || m.span == nil {
+		return nil
+	}
+	return m.span.Child("node/" + m.keys[id])
+}
+
+// nodeEvent journals one node's completed execution: rows emitted and
+// wall time spent.
+func (m *runMetrics) nodeEvent(id workflow.NodeID, rows int, sec float64) {
+	if m.journaling() {
+		m.j.Emit(obs.NodeEvent(m.keys[id], rows, sec))
+	}
+}
+
+// batchEvent journals the rows one partition of a node emitted.
+func (m *runMetrics) batchEvent(id workflow.NodeID, part, rows int) {
+	if m.journaling() {
+		m.j.Emit(obs.BatchEvent(m.keys[id], part, rows))
+	}
+}
+
+// exchangeEvent journals a repartition exchange routing rows rows.
+func (m *runMetrics) exchangeEvent(id workflow.NodeID, rows int) {
+	if m.journaling() {
+		m.j.Emit(obs.ExchangeEvent(m.keys[id], rows))
+	}
+}
+
 // recordRun exports a completed run's whole-run series: the run counter
 // and latency by mode, the per-node emitted-row counts (materialized mode
 // fills them here; pipelined mode already streamed them), and the
 // observed-vs-modeled selectivity gauges — the empirical check of the §5
-// cost model's central parameter.
+// cost model's central parameter. With a journal attached each
+// selectivity observation is also emitted as a drift event, so the
+// flight-recorder report can rank activities by model error.
 func (e *Engine) recordRun(g *workflow.Graph, res *RunResult, modeName string) {
-	if e.metrics == nil {
+	if e.metrics == nil && e.journal == nil {
 		return
 	}
 	e.metrics.Counter("engine_runs_total", "mode", modeName).Inc()
@@ -175,7 +247,11 @@ func (e *Engine) recordRun(g *workflow.Graph, res *RunResult, modeName string) {
 			continue
 		}
 		key := nodeKey(id, n)
-		e.metrics.Gauge("engine_selectivity_observed", "node", key).Set(float64(rows) / denom)
+		observed := float64(rows) / denom
+		e.metrics.Gauge("engine_selectivity_observed", "node", key).Set(observed)
 		e.metrics.Gauge("engine_selectivity_modeled", "node", key).Set(n.Act.Sel)
+		if e.journal != nil {
+			e.journal.Emit(obs.DriftEvent(key, observed, n.Act.Sel))
+		}
 	}
 }

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"hash/fnv"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"time"
 
@@ -275,14 +277,25 @@ func (e *Engine) runParallel(ctx context.Context, g *workflow.Graph, rm *runMetr
 				count = len(rows)
 			}
 		case workflow.KindActivity:
-			pd, err := ec.execParallel(ctx, g, id, n, out, p, rm, rowsSoFar)
-			if err != nil {
+			var pd *pdata
+			var err error
+			if sp := rm.nodeSpan(id); sp != nil || rm.journaling() {
+				start := time.Now()
+				pd, err = ec.execParallel(ctx, g, id, n, out, p, rm, rowsSoFar)
+				if err != nil {
+					return nil, err
+				}
+				sec := time.Since(start).Seconds()
+				sp.End()
+				rm.nodeEvent(id, pd.total(), sec)
+			} else if pd, err = ec.execParallel(ctx, g, id, n, out, p, rm, rowsSoFar); err != nil {
 				return nil, err
 			}
 			out[id] = pd
 			count = pd.total()
 			for q, ps := range pd.parts {
 				rm.partRow(id, q).Add(int64(len(ps.rows)))
+				rm.batchEvent(id, q, len(ps.rows))
 			}
 		}
 		res.NodeRows[id] = count
@@ -310,7 +323,19 @@ func (e *Engine) forEachPartition(ctx context.Context, id workflow.NodeID, n *wo
 				return
 			}
 			start := time.Now()
-			errs[q] = fn(q)
+			if e.pprofLabels {
+				// Tag the partition worker so CPU profiles attribute samples
+				// to the node and partition that burned them.
+				pprof.Do(ctx, pprof.Labels(
+					"etl", "engine",
+					"etl_node", n.Label(),
+					"etl_partition", strconv.Itoa(q),
+				), func(context.Context) {
+					errs[q] = fn(q)
+				})
+			} else {
+				errs[q] = fn(q)
+			}
 			rm.busy(q).Add(time.Since(start).Seconds())
 		}(q)
 	}
@@ -363,6 +388,7 @@ func (e *Engine) exchangeByKey(ctx context.Context, id workflow.NodeID, n *workf
 		return nil, err
 	}
 	rm.exchange(id).Add(int64(pd.total()))
+	rm.exchangeEvent(id, pd.total())
 	return result, nil
 }
 

@@ -91,6 +91,10 @@ type SuiteConfig struct {
 	// Metrics, when non-nil, collects the observability series of every
 	// search and every execution in the suite (etlbench's -metrics flag).
 	Metrics *obs.Registry
+	// Journal, when non-nil, receives the flight-recorder event stream of
+	// every search and every execution in the suite (etlbench's -journal
+	// flag). The caller owns the journal and closes it after the suite.
+	Journal *obs.Journal
 	// Progress, when non-nil, receives one line per workflow.
 	Progress io.Writer
 }
@@ -155,6 +159,7 @@ func runOne(ctx context.Context, cat generator.Category, sc *templates.Scenario,
 		Workers:         cfg.Workers,
 		IncrementalCost: true,
 		Metrics:         cfg.Metrics,
+		Journal:         cfg.Journal,
 	})
 	if err != nil {
 		return res, fmt.Errorf("ES: %w", err)
@@ -165,6 +170,7 @@ func runOne(ctx context.Context, cat generator.Category, sc *templates.Scenario,
 		Workers:         cfg.Workers,
 		IncrementalCost: true,
 		Metrics:         cfg.Metrics,
+		Journal:         cfg.Journal,
 	})
 	if err != nil {
 		return res, fmt.Errorf("HS: %w", err)
@@ -174,6 +180,7 @@ func runOne(ctx context.Context, cat generator.Category, sc *templates.Scenario,
 		Workers:         cfg.Workers,
 		IncrementalCost: true,
 		Metrics:         cfg.Metrics,
+		Journal:         cfg.Journal,
 	})
 	if err != nil {
 		return res, fmt.Errorf("HS-Greedy: %w", err)
@@ -183,7 +190,8 @@ func runOne(ctx context.Context, cat generator.Category, sc *templates.Scenario,
 	// activity's observed selectivity against the modeled value the search
 	// just optimized under: Table 2's "sel drift" column. The run also
 	// feeds the engine's observability series when cfg.Metrics is set.
-	runRes, err := engine.New(sc.Bind(), engine.WithMetrics(cfg.Metrics)).Run(ctx, g)
+	runRes, err := engine.New(sc.Bind(), engine.WithMetrics(cfg.Metrics),
+		engine.WithJournal(cfg.Journal)).Run(ctx, g)
 	if err != nil {
 		return res, fmt.Errorf("executing initial workflow: %w", err)
 	}
@@ -197,7 +205,7 @@ func runOne(ctx context.Context, cat generator.Category, sc *templates.Scenario,
 		for _, p := range cfg.Partitions {
 			parRes, err := engine.New(sc.Bind(),
 				engine.WithMode(engine.Parallel), engine.WithPartitions(p),
-				engine.WithMetrics(cfg.Metrics)).Run(ctx, g)
+				engine.WithMetrics(cfg.Metrics), engine.WithJournal(cfg.Journal)).Run(ctx, g)
 			if err != nil {
 				return res, fmt.Errorf("executing initial workflow at P=%d: %w", p, err)
 			}

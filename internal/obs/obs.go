@@ -240,17 +240,24 @@ type Registry struct {
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
 
-	spans spanLog
+	spanSeq atomic.Int64
+	spans   spanLog
 }
 
 // NewRegistry returns an empty, enabled registry.
 func NewRegistry() *Registry {
-	return &Registry{
+	r := &Registry{
 		created:    now(),
 		counters:   make(map[string]*Counter),
 		gauges:     make(map[string]*Gauge),
 		histograms: make(map[string]*Histogram),
 	}
+	// The span window and its loss accounting exist from the start, so
+	// obs_spans_dropped_total is always present in snapshots — zero until
+	// the window actually overwrites history.
+	r.spans.ring = make([]SpanRecord, spanLogCap)
+	r.spans.dropped = r.Counter("obs_spans_dropped_total")
+	return r
 }
 
 // seriesName renders family plus label pairs as a canonical series name:

@@ -5,8 +5,11 @@ import (
 	"time"
 )
 
-// spanLogCap bounds the completed-span ring buffer per registry. Old spans
-// are overwritten; live introspection wants the recent past, not history.
+// spanLogCap is the default bound on the completed-span window per
+// registry. Old spans are overwritten (and counted as dropped in
+// obs_spans_dropped_total); live introspection wants the recent past, not
+// history. Registry.SetSpanCap raises or lowers the bound — trace export
+// (-trace-out) raises it so a whole run's tree survives to the export.
 const spanLogCap = 256
 
 // Span is one timed region of work, optionally nested under a parent.
@@ -15,15 +18,23 @@ const spanLogCap = 256
 // lists the most recent completions. A nil *Span ignores every call, so
 // instrumented code never branches on whether collection is on.
 //
+// Every span carries a registry-unique ID; a root span starts a new trace
+// (TraceID == its own ID) and children inherit the trace, so completed
+// records reassemble into trace trees — the basis of the Chrome/Perfetto
+// export in trace.go.
+//
 // A Span is not safe for concurrent mutation; create one span per
 // goroutine (children are independent once created).
 type Span struct {
-	reg    *Registry
-	name   string
-	parent string
-	depth  int
-	start  time.Time
-	attrs  []SpanAttr
+	reg      *Registry
+	name     string
+	parent   string
+	id       int64
+	parentID int64
+	traceID  int64
+	depth    int
+	start    time.Time
+	attrs    []SpanAttr
 }
 
 // SpanAttr is one key/value annotation on a span.
@@ -32,11 +43,16 @@ type SpanAttr struct {
 	Value string `json:"value"`
 }
 
-// SpanRecord is a completed span as kept in the registry's ring and
+// SpanRecord is a completed span as kept in the registry's window and
 // reported by snapshots. Times are relative to the registry's creation so
 // records are position-independent (no absolute wall-clock leaks into
 // exhibits).
 type SpanRecord struct {
+	// ID is registry-unique; ParentID is the enclosing span's ID (0 at a
+	// root) and TraceID the root span's ID, shared by the whole tree.
+	ID       int64 `json:"id"`
+	ParentID int64 `json:"parent_id,omitempty"`
+	TraceID  int64 `json:"trace_id"`
 	// Name and Parent identify the span and its enclosing span ("" at the
 	// root); Depth is the nesting level.
 	Name   string `json:"name"`
@@ -49,16 +65,22 @@ type SpanRecord struct {
 	Attrs              []SpanAttr `json:"attrs,omitempty"`
 }
 
-// spanLog is a fixed-capacity ring of completed spans.
+// spanLog is a bounded ring of completed spans. Overwrites of
+// not-yet-snapshotted records are counted in dropped, so span loss is
+// visible instead of silent.
 type spanLog struct {
-	mu   sync.Mutex
-	ring [spanLogCap]SpanRecord
-	n    int // total appended
+	mu      sync.Mutex
+	ring    []SpanRecord
+	n       int // total appended since the last resize
+	dropped *Counter
 }
 
 func (l *spanLog) add(rec SpanRecord) {
 	l.mu.Lock()
-	l.ring[l.n%spanLogCap] = rec
+	if l.n >= len(l.ring) {
+		l.dropped.Inc()
+	}
+	l.ring[l.n%len(l.ring)] = rec
 	l.n++
 	l.mu.Unlock()
 }
@@ -67,34 +89,88 @@ func (l *spanLog) add(rec SpanRecord) {
 func (l *spanLog) recent(max int) []SpanRecord {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	return l.recentLocked(max)
+}
+
+// resize rebuilds the ring at capacity c, keeping the most recent
+// min(kept, c) records. Records shed by a shrink count as dropped.
+func (l *spanLog) resize(c int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	kept := l.n
+	if kept > len(l.ring) {
+		kept = len(l.ring)
+	}
+	if kept > c {
+		l.dropped.Add(int64(kept - c))
+	}
+	old := l.recentLocked(c)
+	ring := make([]SpanRecord, c)
+	copy(ring, old)
+	l.ring = ring
+	l.n = len(old)
+}
+
+// recentLocked is recent(max) for callers already holding the mutex.
+func (l *spanLog) recentLocked(max int) []SpanRecord {
 	n := l.n
-	if n > spanLogCap {
-		n = spanLogCap
+	if n > len(l.ring) {
+		n = len(l.ring)
 	}
 	if max > 0 && n > max {
 		n = max
 	}
 	out := make([]SpanRecord, 0, n)
 	for i := 0; i < n; i++ {
-		out = append(out, l.ring[(l.n-n+i)%spanLogCap])
+		out = append(out, l.ring[(l.n-n+i)%len(l.ring)])
 	}
 	return out
 }
 
-// StartSpan opens a root span. Nil registry → nil span.
+// SetSpanCap bounds the completed-span window at c records, keeping the
+// most recent records it already holds. c <= 0 restores the default.
+// Shrinking counts the shed records in obs_spans_dropped_total. No-op on
+// a nil registry.
+func (r *Registry) SetSpanCap(c int) {
+	if r == nil {
+		return
+	}
+	if c <= 0 {
+		c = spanLogCap
+	}
+	r.spans.resize(c)
+}
+
+// SpansDropped reports how many completed spans have been lost to window
+// overwrites or shrinks; the same number is exposed as the
+// obs_spans_dropped_total counter.
+func (r *Registry) SpansDropped() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.spans.dropped.Value()
+}
+
+// StartSpan opens a root span, beginning a new trace. Nil registry → nil
+// span.
 func (r *Registry) StartSpan(name string) *Span {
 	if r == nil {
 		return nil
 	}
-	return &Span{reg: r, name: name, start: now()}
+	id := r.spanSeq.Add(1)
+	return &Span{reg: r, name: name, id: id, traceID: id, start: now()}
 }
 
-// Child opens a nested span under sp. Nil span → nil child.
+// Child opens a nested span under sp, in sp's trace. Nil span → nil child.
 func (sp *Span) Child(name string) *Span {
 	if sp == nil {
 		return nil
 	}
-	return &Span{reg: sp.reg, name: name, parent: sp.name, depth: sp.depth + 1, start: now()}
+	return &Span{
+		reg: sp.reg, name: name, parent: sp.name,
+		id: sp.reg.spanSeq.Add(1), parentID: sp.id, traceID: sp.traceID,
+		depth: sp.depth + 1, start: now(),
+	}
 }
 
 // Annotate attaches a key/value pair to the span.
@@ -108,7 +184,7 @@ func (sp *Span) Annotate(key, value string) *Span {
 
 // End closes the span: its duration is observed into the
 // obs_span_seconds{span=name} histogram and the completed record joins
-// the registry's ring. End on a nil span is a no-op; End at most once.
+// the registry's window. End on a nil span is a no-op; End at most once.
 func (sp *Span) End() {
 	if sp == nil {
 		return
@@ -117,6 +193,9 @@ func (sp *Span) End() {
 	d := end.Sub(sp.start)
 	sp.reg.Histogram("obs_span_seconds", nil, "span", sp.name).Observe(d.Seconds())
 	sp.reg.spans.add(SpanRecord{
+		ID:                 sp.id,
+		ParentID:           sp.parentID,
+		TraceID:            sp.traceID,
 		Name:               sp.name,
 		Parent:             sp.parent,
 		Depth:              sp.depth,

@@ -14,16 +14,19 @@
 package proptest
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"math"
 	"sort"
 
+	"etlopt/internal/core"
 	"etlopt/internal/cost"
 	"etlopt/internal/data"
 	"etlopt/internal/dsl"
 	"etlopt/internal/engine"
 	"etlopt/internal/equiv"
+	"etlopt/internal/obs"
 	"etlopt/internal/templates"
 	"etlopt/internal/transitions"
 	"etlopt/internal/workflow"
@@ -297,6 +300,124 @@ func sameRowOrder(want, got data.Rows) error {
 		if want[i].Key() != got[i].Key() {
 			return fmt.Errorf("row %d: %s, want %s", i, got[i], want[i])
 		}
+	}
+	return nil
+}
+
+// CheckJournalInvariance asserts the flight recorder's metamorphic
+// contract: journal collection is write-only, so attaching a journal
+// (and pprof labels) must be observationally invisible. The scenario's
+// HS search is run plain and journaled at each worker count — best cost,
+// best signature and visited/generated counts must be bit-identical —
+// and its workflow is executed in partition-parallel mode plain and
+// journaled at each partition count — target rows must be byte-identical
+// in order and per-node row counts equal. Every recorded journal must
+// also parse back with paired run boundaries and a summary trailer.
+func CheckJournalInvariance(sc *templates.Scenario, workers, partitions []int) error {
+	ctx := context.Background()
+	for _, w := range workers {
+		// A bounded budget keeps the check fast; determinism must hold at
+		// any budget, so a partial search is as good a probe as a full one.
+		opts := core.Options{Workers: w, IncrementalCost: true, MaxStates: 3000}
+		plain, err := core.Heuristic(ctx, sc.Graph, opts)
+		if err != nil {
+			return fmt.Errorf("W=%d: plain search: %w", w, err)
+		}
+		var buf bytes.Buffer
+		opts.Journal = obs.NewJournal(&buf, nil)
+		opts.PprofLabels = true
+		rec, err := core.Heuristic(ctx, sc.Graph, opts)
+		if err != nil {
+			return fmt.Errorf("W=%d: journaled search: %w", w, err)
+		}
+		if err := opts.Journal.Close(); err != nil {
+			return fmt.Errorf("W=%d: closing journal: %w", w, err)
+		}
+		if rec.BestCost != plain.BestCost {
+			return fmt.Errorf("W=%d: best cost %v with journal, %v without", w, rec.BestCost, plain.BestCost)
+		}
+		if got, want := rec.Best.Signature(), plain.Best.Signature(); got != want {
+			return fmt.Errorf("W=%d: best signature %q with journal, %q without", w, got, want)
+		}
+		if rec.Visited != plain.Visited || rec.Generated != plain.Generated {
+			return fmt.Errorf("W=%d: visited/generated %d/%d with journal, %d/%d without",
+				w, rec.Visited, rec.Generated, plain.Visited, plain.Generated)
+		}
+		if err := journalWellFormed(buf.Bytes()); err != nil {
+			return fmt.Errorf("W=%d: %w", w, err)
+		}
+	}
+	for _, p := range partitions {
+		eopts := []engine.Option{engine.WithMode(engine.Parallel), engine.WithPartitions(p)}
+		plain, err := engine.New(sc.Bind(), eopts...).Run(ctx, sc.Graph)
+		if err != nil {
+			return fmt.Errorf("P=%d: plain run: %w", p, err)
+		}
+		var buf bytes.Buffer
+		j := obs.NewJournal(&buf, nil)
+		rec, err := engine.New(sc.Bind(), append(eopts, engine.WithJournal(j), engine.WithPprofLabels())...).
+			Run(ctx, sc.Graph)
+		if err != nil {
+			return fmt.Errorf("P=%d: journaled run: %w", p, err)
+		}
+		if err := j.Close(); err != nil {
+			return fmt.Errorf("P=%d: closing journal: %w", p, err)
+		}
+		names := make([]string, 0, len(plain.Targets))
+		for name := range plain.Targets {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if err := sameRowOrder(plain.Targets[name], rec.Targets[name]); err != nil {
+				return fmt.Errorf("P=%d: target %s not byte-identical with journal attached: %w", p, name, err)
+			}
+		}
+		ids := make([]workflow.NodeID, 0, len(plain.NodeRows))
+		for id := range plain.NodeRows {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			if got, want := rec.NodeRows[id], plain.NodeRows[id]; got != want {
+				return fmt.Errorf("P=%d: node %d emitted %d rows with journal, %d without", p, id, got, want)
+			}
+		}
+		if err := journalWellFormed(buf.Bytes()); err != nil {
+			return fmt.Errorf("P=%d: %w", p, err)
+		}
+	}
+	return nil
+}
+
+// journalWellFormed parses a recorded journal and checks its framing:
+// paired run boundaries, exactly one trailing summary, and drop/error
+// accounting agreeing with the file's own contents.
+func journalWellFormed(raw []byte) error {
+	evs, err := obs.ReadJournal(bytes.NewReader(raw))
+	if err != nil {
+		return fmt.Errorf("journal unreadable: %w", err)
+	}
+	if len(evs) == 0 {
+		return fmt.Errorf("journal empty")
+	}
+	counts := map[string]int{}
+	for _, e := range evs {
+		counts[e.T]++
+	}
+	if counts[obs.EventRun]%2 != 0 {
+		return fmt.Errorf("journal has %d run boundaries, want start/end pairs", counts[obs.EventRun])
+	}
+	if counts[obs.EventSummary] != 1 {
+		return fmt.Errorf("journal has %d summary events, want exactly 1", counts[obs.EventSummary])
+	}
+	last := evs[len(evs)-1]
+	if last.T != obs.EventSummary {
+		return fmt.Errorf("journal does not end with the summary trailer (last event %q)", last.T)
+	}
+	if body := int64(len(evs) - 1); last.Events+last.Dropped < body {
+		return fmt.Errorf("summary accounts for %d events (+%d dropped), file holds %d",
+			last.Events, last.Dropped, body)
 	}
 	return nil
 }

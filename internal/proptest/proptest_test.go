@@ -100,6 +100,42 @@ func TestPartitionInvariance(t *testing.T) {
 	t.Logf("checked %d generated workflows at P=%v", total, partitions)
 }
 
+// TestJournalInvariance is the metamorphic guard for the flight
+// recorder: seeded random workflows searched and executed with and
+// without a journal attached, at W ∈ {1, 4} and P ∈ {1, 8}, asserting
+// results are bit-identical either way and every recorded journal is
+// well-formed. Under -race this also exercises concurrent emitters
+// against the single writer goroutine.
+func TestJournalInvariance(t *testing.T) {
+	counts := []struct {
+		cat generator.Category
+		n   int
+	}{
+		{generator.Small, 12},
+		{generator.Medium, 4},
+	}
+	if testing.Short() {
+		counts[0].n, counts[1].n = 4, 1
+	}
+	workers := []int{1, 4}
+	partitions := []int{1, 8}
+	total := 0
+	for _, c := range counts {
+		scs := suiteFor(t, c.cat, c.n, propSeed+int64(c.cat)*104729)
+		for i, sc := range scs {
+			sc, i, c := sc, i, c
+			t.Run(fmt.Sprintf("%s-%02d", c.cat, i+1), func(t *testing.T) {
+				t.Parallel()
+				if err := proptest.CheckJournalInvariance(sc, workers, partitions); err != nil {
+					t.Fatalf("scenario %s seed base %d index %d: %v", c.cat, propSeed, i, err)
+				}
+			})
+		}
+		total += len(scs)
+	}
+	t.Logf("checked %d generated workflows at W=%v, P=%v", total, workers, partitions)
+}
+
 // TestSearchMutationLeak byte-compares every expanded parent's serialized
 // form before and after expansion across several search depths — the
 // aliasing regression the race detector can't catch, because no data race

@@ -86,6 +86,14 @@ type (
 	// MetricsSnapshot is a point-in-time copy of a MetricsRegistry,
 	// serializable as JSON or Prometheus text.
 	MetricsSnapshot = obs.Snapshot
+	// Journal is the flight recorder: a bounded, lossy, structured JSONL
+	// run journal of search transitions, executed nodes, partition
+	// batches and checkpoint steps. Like metrics, collection is
+	// write-only: results are bit-identical with the journal on or off.
+	Journal = obs.Journal
+	// JournalEvent is one journal record; all event types share this flat
+	// shape.
+	JournalEvent = obs.Event
 )
 
 // Execution modes for WithMode.
@@ -138,6 +146,8 @@ type settings struct {
 	partitions int
 	batch      int
 	metrics    *MetricsRegistry
+	journal    *Journal
+	profile    bool
 }
 
 // WithAlgorithm selects the optimization search (default HS). Optimize
@@ -192,6 +202,23 @@ func WithMetrics(r *MetricsRegistry) Option {
 	return optionFunc(func(s *settings) { s.metrics = r })
 }
 
+// WithJournal records the run's structured event stream into j — search
+// transitions and phases from Optimize, node/batch/exchange events from
+// Run. The caller owns j and closes it when the pipeline is done; one
+// journal can span several Optimize and Run calls. Collection never
+// affects results.
+func WithJournal(j *Journal) Option {
+	return optionFunc(func(s *settings) { s.journal = j })
+}
+
+// WithProfileLabels tags search workers and engine partitions with
+// runtime/pprof labels (etl=search/engine, etl_worker, etl_node,
+// etl_partition), so CPU profiles attribute samples per worker and per
+// partition. Purely observational.
+func WithProfileLabels() Option {
+	return optionFunc(func(s *settings) { s.profile = true })
+}
+
 // WithMode selects the execution mode (default Materialized). Run only.
 func WithMode(m Mode) Option {
 	return optionFunc(func(s *settings) { s.mode = m; s.modeSet = true })
@@ -231,6 +258,22 @@ func Metrics() *MetricsRegistry { return defaultMetrics }
 
 // NewMetricsRegistry returns a fresh, empty metrics registry.
 func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewJournal starts a flight-recorder journal writing JSONL to w. reg,
+// when non-nil, mirrors the journal's own accounting (events written,
+// dropped, write errors) as counters; nil skips the mirroring. Close the
+// journal to flush it and append the summary trailer.
+var NewJournal = obs.NewJournal
+
+// NewJournalFile opens (creating or truncating) path and starts a
+// journal on it; Close also closes the file.
+var NewJournalFile = obs.NewJournalFile
+
+// ReadJournal parses a JSONL journal stream back into events.
+var ReadJournal = obs.ReadJournal
+
+// ReadJournalFile parses a JSONL journal file back into events.
+var ReadJournalFile = obs.ReadJournalFile
 
 // NewGraph returns an empty workflow graph.
 func NewGraph() *Graph { return workflow.NewGraph() }
@@ -336,6 +379,8 @@ func newSettings(opts []Option) settings {
 func Optimize(ctx context.Context, g *Graph, opts ...Option) (*Result, error) {
 	s := newSettings(opts)
 	s.search.Metrics = s.metrics
+	s.search.Journal = s.journal
+	s.search.PprofLabels = s.profile
 	switch s.algo {
 	case ES:
 		return core.Exhaustive(ctx, g, s.search)
@@ -366,6 +411,12 @@ func Run(ctx context.Context, g *Graph, bindings map[string]Recordset, opts ...O
 	}
 	if s.metrics != nil {
 		eopts = append(eopts, engine.WithMetrics(s.metrics))
+	}
+	if s.journal != nil {
+		eopts = append(eopts, engine.WithJournal(s.journal))
+	}
+	if s.profile {
+		eopts = append(eopts, engine.WithPprofLabels())
 	}
 	return engine.New(bindings, eopts...).Run(ctx, g)
 }

@@ -1,6 +1,7 @@
 package etl_test
 
 import (
+	"bytes"
 	"context"
 	"testing"
 
@@ -133,6 +134,69 @@ func TestPartitionsImplyParallelMode(t *testing.T) {
 	}
 	if v, ok := reg.Snapshot().CounterValue(`engine_runs_total{mode="materialized"}`); !ok || v != 1 {
 		t.Errorf("explicit WithMode lost to the partitions implication: runs=%d ok=%v", v, ok)
+	}
+}
+
+// TestJournalOptionSpansPipeline pins the facade's flight-recorder
+// contract: one WithJournal option slice feeds both Optimize and Run,
+// the recording changes no result, and the closed journal parses back
+// with both runs' boundaries and the summary trailer.
+func TestJournalOptionSpansPipeline(t *testing.T) {
+	ctx := context.Background()
+	g, err := etl.Parse(quickstartDSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := etl.Optimize(ctx, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRun, err := etl.Run(ctx, base.Best, buildBindings())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	j := etl.NewJournal(&buf, nil)
+	opts := []etl.Option{etl.WithJournal(j), etl.WithProfileLabels(), etl.WithPartitions(4)}
+	res, err := etl.Optimize(ctx, g, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := etl.Run(ctx, res.Best, buildBindings(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("closing journal: %v", err)
+	}
+	if res.BestCost != base.BestCost || res.Best.Signature() != base.Best.Signature() {
+		t.Errorf("journal changed the optimization: cost %v vs %v", res.BestCost, base.BestCost)
+	}
+	for name, want := range baseRun.Targets {
+		if !want.EqualMultiset(run.Targets[name]) {
+			t.Errorf("journal changed target %s", name)
+		}
+	}
+
+	evs, err := etl.ReadJournal(&buf)
+	if err != nil {
+		t.Fatalf("journal unreadable: %v", err)
+	}
+	var runs, summaries int
+	for _, e := range evs {
+		switch e.T {
+		case "run":
+			runs++
+		case "summary":
+			summaries++
+		}
+	}
+	if runs != 4 {
+		t.Errorf("%d run boundaries, want start/end for both the search and the engine", runs)
+	}
+	if summaries != 1 {
+		t.Errorf("%d summary trailers, want 1", summaries)
 	}
 }
 
