@@ -11,6 +11,10 @@
 //	etlbench -verify         # also validate every optimized workflow on data
 //	etlbench -expand FILE    # incremental-vs-full-clone expansion baseline
 //	etlbench -engine FILE    # partition-parallel engine baseline (BENCH_engine.json)
+//	etlbench -engine FILE -faults 42:0.05
+//	                         # same baseline under deterministic chaos: faults
+//	                         # injected into the parallel runs, retried, and
+//	                         # still required bit-identical to materialized
 //	etlbench -compare OLD NEW [-tolerance 0.2]
 //	                         # perf-regression gate over two baseline reports
 //	                         # (BENCH_expand.json / BENCH_engine.json schema):
@@ -63,6 +67,7 @@ func run() error {
 		partsFlag = flag.String("partitions", "", "engine data parallelism: comma-separated partition counts (e.g. 1,2,4,8); adds parallel exec columns to Table 2 and sets the -engine measurement points")
 		dataRows  = flag.Int("datarows", 0, "records generated per source for -engine (0 = 8000)")
 		engineOut = flag.String("engine", "", "run the partition-parallel engine baseline over the suite, write the JSON report here, and exit")
+		faults    = flag.String("faults", "", "arm deterministic fault injection on -engine's parallel runs as seed:rate (e.g. 42:0.05); transient faults are retried and bit-identity is still required")
 		verify    = flag.Bool("verify", false, "validate every optimized workflow on generated data")
 		fig4      = flag.Bool("fig4", false, "print only the Fig. 4 cost cases")
 		ablations = flag.Bool("ablations", false, "run the DESIGN.md ablation studies and exit")
@@ -117,7 +122,10 @@ func run() error {
 		return runExpand(*expand, countMap, *seed, *hsBudget, !*quiet)
 	}
 	if *engineOut != "" {
-		return runEngine(*engineOut, countMap, *seed, partitions, *dataRows, !*quiet)
+		return runEngine(*engineOut, countMap, *seed, partitions, *dataRows, *faults, !*quiet)
+	}
+	if *faults != "" {
+		return fmt.Errorf("-faults only applies to the -engine baseline")
 	}
 
 	cfg := experiments.SuiteConfig{
@@ -232,9 +240,10 @@ func parsePartitions(s string) ([]int, error) {
 // with scaled-up data executed materialized and at each partition count,
 // every parallel run verified bit-identical, with the wall clocks landing
 // in the JSON report (BENCH_engine.json in CI).
-func runEngine(path string, counts map[generator.Category]int, seed int64, partitions []int, dataRows int, progress bool) error {
+func runEngine(path string, counts map[generator.Category]int, seed int64, partitions []int, dataRows int, faultSpec string, progress bool) error {
 	cfg := experiments.SuiteConfig{
 		Seed: seed, Counts: counts, Partitions: partitions, DataRows: dataRows,
+		FaultSpec: faultSpec,
 	}
 	if progress {
 		cfg.Progress = os.Stderr

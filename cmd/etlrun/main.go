@@ -9,7 +9,7 @@
 //
 //	etlrun -in workflow.etl -data ./data [-optimize hs|greedy|es] [-workers N]
 //	       [-mode materialized|pipelined|parallel] [-partitions P]
-//	       [-checkpoint ./stage] [-impact NODE]
+//	       [-checkpoint ./stage] [-faults SEED:RATE] [-retries N] [-impact NODE]
 //	       [-metrics snap.json] [-journal run.jsonl]
 //	       [-trace-out trace-events.json] [-cpuprofile cpu.pprof]
 //	       [-debug-addr localhost:6060] [-progress 1s]
@@ -39,6 +39,7 @@ import (
 	"etlopt/internal/data"
 	"etlopt/internal/dsl"
 	"etlopt/internal/engine"
+	"etlopt/internal/fault"
 	"etlopt/internal/obs"
 	"etlopt/internal/workflow"
 )
@@ -67,6 +68,8 @@ func run() error {
 		debugAddr  = flag.String("debug-addr", "", "serve a live status page, /metrics (Prometheus) and /metrics.json on this address during the run")
 		progress   = flag.Duration("progress", 0, "print an optimizer progress line to stderr at this interval (e.g. 1s; 0 = off)")
 		journal    = flag.String("journal", "", "record a structured run journal (JSONL flight recorder, auditable with etlvet obs) here")
+		faults     = flag.String("faults", "", "arm deterministic fault injection as seed:rate (e.g. 42:0.05); transient faults are retried")
+		retries    = flag.Int("retries", 6, "per-node attempt budget for retrying injected transient faults (with -faults)")
 		traceOut   = flag.String("trace-out", "", "write the run's span tree as Chrome/Perfetto trace-event JSON here")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile here; search workers and engine partitions are labeled")
 	)
@@ -190,6 +193,20 @@ func run() error {
 		engine.WithPartitions(*partitions), engine.WithJournal(jnl)}
 	if *cpuProf != "" {
 		eopts = append(eopts, engine.WithPprofLabels())
+	}
+	if *faults != "" {
+		seed, rate, err := fault.ParseSpec(*faults)
+		if err != nil {
+			return err
+		}
+		eopts = append(eopts,
+			engine.WithFaultPlan(fault.NewPlan(seed, rate)),
+			engine.WithRetry(fault.Policy{
+				MaxAttempts: *retries,
+				BaseDelay:   time.Millisecond,
+				MaxDelay:    100 * time.Millisecond,
+				Seed:        seed,
+			}))
 	}
 	e := engine.New(bindings, eopts...)
 
@@ -351,18 +368,22 @@ func readHeader(path string) (data.Schema, error) {
 // recordset or activity identifier.
 func printImpact(g *workflow.Graph, name string) error {
 	names := dsl.NodeNames(g)
-	var target workflow.NodeID = -1
 	var known []string
+	var matches []workflow.NodeID
 	for id, n := range names {
 		known = append(known, n)
 		if n == name {
-			target = id
+			matches = append(matches, id)
 		}
 	}
-	if target < 0 {
+	if len(matches) == 0 {
 		sort.Strings(known)
 		return fmt.Errorf("unknown node %q (have: %s)", name, strings.Join(known, ", "))
 	}
+	// Collect-then-sort keeps the pick independent of map iteration order:
+	// the smallest matching node ID wins, deterministically.
+	sort.Slice(matches, func(i, j int) bool { return matches[i] < matches[j] })
+	target := matches[0]
 	imp, err := g.AnalyzeImpact(target)
 	if err != nil {
 		return err

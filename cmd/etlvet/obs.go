@@ -25,13 +25,18 @@ type obsStats struct {
 	events   []obs.Event
 	summary  *obs.Event
 	maxOff   float64
-	runs     []obs.Event            // run start/end boundaries, file order
-	phases   []obsPhase             // phase boundaries, paired in file order
-	nodes    map[string]*obsNode    // per-node execution aggregate
-	drift    map[string][2]float64  // node -> last {observed, modeled}
-	caches   map[string][2]int64    // cache -> {hits, total}
+	runs     []obs.Event                 // run start/end boundaries, file order
+	phases   []obsPhase                  // phase boundaries, paired in file order
+	nodes    map[string]*obsNode         // per-node execution aggregate
+	drift    map[string][2]float64       // node -> last {observed, modeled}
+	caches   map[string][2]int64         // cache -> {hits, total}
 	funnel   map[string]map[string]int64 // transition op -> action -> count
-	chkpt    map[string]int64       // checkpoint action -> count
+	chkpt    map[string]int64            // checkpoint action -> count
+	faults   map[string]int64            // "site (kind)" -> injected fault count
+	retries  int64
+	retrySec float64 // total backoff delay spent across retries
+	resumes  int64
+	resRows  int64 // rows restored by checkpoint resumes
 	batches  int64
 	exchange int64 // total rows through repartition exchanges
 }
@@ -59,6 +64,7 @@ func aggregateJournal(events []obs.Event) *obsStats {
 		caches: map[string][2]int64{},
 		funnel: map[string]map[string]int64{},
 		chkpt:  map[string]int64{},
+		faults: map[string]int64{},
 	}
 	open := map[string]int{} // phase name -> index of unmatched start
 	for i := range events {
@@ -114,6 +120,16 @@ func aggregateJournal(events []obs.Event) *obsStats {
 			st.exchange += e.Rows
 		case obs.EventCheckpoint:
 			st.chkpt[e.Action]++
+		case obs.EventFault:
+			// FaultEvent stores the injection site in Action and the kind
+			// in Detail.
+			st.faults[e.Action+" ("+e.Detail+")"]++
+		case obs.EventRetry:
+			st.retries++
+			st.retrySec += e.Sec
+		case obs.EventResume:
+			st.resumes++
+			st.resRows += e.Rows
 		case obs.EventDrift:
 			st.drift[e.Node] = [2]float64{e.Observed, e.Modeled}
 		}
@@ -168,6 +184,12 @@ func (st *obsStats) auditObs(path string) []analysis.Finding {
 		}
 		if e.T == obs.EventDrift && (badRatio(e.Observed) || badRatio(e.Modeled)) {
 			report(analysis.Warning, "drift for node %s has a non-finite selectivity (observed %v, modeled %v)", e.Node, e.Observed, e.Modeled)
+		}
+		if e.T == obs.EventFault && (e.Action == "" || e.Detail == "") {
+			report(analysis.Warning, "fault event seq %d lacks site/kind attribution", e.Seq)
+		}
+		if e.T == obs.EventRetry && e.Attempt < 2 {
+			report(analysis.Warning, "retry event seq %d claims attempt %d; retries start at 2", e.Seq, e.Attempt)
 		}
 	}
 	return out
@@ -265,8 +287,8 @@ func renderObsReport(w io.Writer, path string, topK int) ([]analysis.Finding, er
 
 	if len(st.drift) > 0 {
 		type driftRow struct {
-			node               string
-			observed, modeled  float64
+			node              string
+			observed, modeled float64
 		}
 		rows := make([]driftRow, 0, len(st.drift))
 		for node, d := range st.drift {
@@ -303,6 +325,19 @@ func renderObsReport(w io.Writer, path string, topK int) ([]analysis.Finding, er
 		}
 		for _, action := range sortedKeys(st.chkpt) {
 			fmt.Fprintf(w, "  %d checkpoint node(s) %s\n", st.chkpt[action], action)
+		}
+	}
+
+	if len(st.faults) > 0 || st.retries > 0 || st.resumes > 0 {
+		fmt.Fprintln(w, "\nfault & recovery activity:")
+		for _, key := range sortedKeys(st.faults) {
+			fmt.Fprintf(w, "  %d fault(s) injected at %s\n", st.faults[key], key)
+		}
+		if st.retries > 0 {
+			fmt.Fprintf(w, "  %d retry attempt(s), %.4fs total backoff\n", st.retries, st.retrySec)
+		}
+		if st.resumes > 0 {
+			fmt.Fprintf(w, "  %d node(s) resumed from checkpoint, %d row(s) restored\n", st.resumes, st.resRows)
 		}
 	}
 	fmt.Fprintln(w)

@@ -42,6 +42,10 @@ func writeObsJournal(t *testing.T) string {
 	j.Emit(obs.BatchEvent("filter", 0, 20))
 	j.Emit(obs.ExchangeEvent("join", 37))
 	j.Emit(obs.CheckpointEvent("filter", "staged", 40))
+	j.Emit(obs.FaultEvent("filter", 1, "emit", "transient"))
+	j.Emit(obs.FaultEvent("join", 0, "exchange", "transient"))
+	j.Emit(obs.RetryEvent("filter", 2, 0.002, "fault: injected transient fault"))
+	j.Emit(obs.ResumeEvent("extract", 100))
 	j.Emit(obs.DriftEvent("filter", 0.4, 0.5))
 	j.Emit(obs.DriftEvent("load", 1.0, 1.0))
 	j.Emit(obs.RunEvent("end", "engine/parallel"))
@@ -76,6 +80,11 @@ func TestObsReportSections(t *testing.T) {
 		"2 partition batch(es)",
 		"37 row(s) through repartition exchanges",
 		"1 checkpoint node(s) staged",
+		"fault & recovery activity:",
+		"1 fault(s) injected at emit (transient)",
+		"1 fault(s) injected at exchange (transient)",
+		"1 retry attempt(s), 0.0020s total backoff",
+		"1 node(s) resumed from checkpoint, 100 row(s) restored",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("report missing %q:\n%s", want, out)
@@ -179,6 +188,14 @@ func TestObsAuditFindings(t *testing.T) {
 			`{"seq":1,"t":"node","off":0.1,"node":"x","rows":5,"sec":-1}` + "\n" +
 				`{"seq":2,"t":"summary","off":0.2,"events":1}` + "\n",
 			"node x has negative wall time", 1},
+		{"fault-missing-site",
+			`{"seq":1,"t":"fault","off":0.1,"node":"x","part":0}` + "\n" +
+				`{"seq":2,"t":"summary","off":0.2,"events":1}` + "\n",
+			"fault event seq 1 lacks site/kind attribution", 1},
+		{"retry-bad-attempt",
+			`{"seq":1,"t":"retry","off":0.1,"node":"x","attempt":1}` + "\n" +
+				`{"seq":2,"t":"summary","off":0.2,"events":1}` + "\n",
+			"retry event seq 1 claims attempt 1; retries start at 2", 1},
 		// Drops are legal — the journal is lossy by design — so a
 		// drop-only journal is advice and still exits 0.
 		{"dropped-is-advice",

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"etlopt/internal/data"
+	"etlopt/internal/fault"
 	"etlopt/internal/obs"
 	"etlopt/internal/workflow"
 )
@@ -83,58 +84,86 @@ func (c *CheckpointRunner) Run(ctx context.Context, g *workflow.Graph) (*RunResu
 			return nil, err
 		}
 		n := g.Node(id)
-		// Resume path: a staged output short-circuits recomputation. Target
-		// loads are not staged (loading is the effect we must not repeat
-		// blindly), so targets always re-run from their providers' staged
-		// outputs.
-		if n.Kind == workflow.KindActivity || len(g.Providers(id)) == 0 {
-			if rows, ok, err := c.loadStage(id); err != nil {
-				return nil, err
-			} else if ok {
-				out[id] = rows
-				res.NodeRows[id] = len(rows)
-				c.checkpointEvent("restored", id, n, len(rows))
-				continue
-			}
-		}
-		switch n.Kind {
-		case workflow.KindRecordset:
-			preds := g.Providers(id)
-			if len(preds) == 0 {
-				rows, err := c.engine.scanSource(n)
-				if err != nil {
-					return nil, err
+		// Targets are never staged: loading is the effect we must not
+		// repeat blindly, so targets always re-run from their providers'
+		// staged outputs.
+		stageable := n.Kind == workflow.KindActivity || len(g.Providers(id)) == 0
+		resumed := false
+		body := func() error {
+			// Resume path: a staged output short-circuits recomputation.
+			if stageable {
+				if err := c.engine.checkFault(ctx, fault.SiteRestore, id, n, 0); err != nil {
+					return err
 				}
-				out[id] = rows
-			} else {
-				rows := c.engine.projectForTarget(out[preds[0]], g.Node(preds[0]).Out, n.RS.Schema)
-				out[id] = rows
-				res.Targets[n.RS.Name] = rows
-				if rs, ok := c.engine.bindings[n.RS.Name]; ok {
-					if err := rs.Load(rows); err != nil {
-						return nil, fmt.Errorf("engine: loading target %s: %w", n.RS.Name, err)
+				rows, ok, err := c.loadStage(id)
+				if err != nil {
+					return err
+				}
+				if ok {
+					out[id] = rows
+					resumed = true
+					return nil
+				}
+			}
+			if err := c.engine.checkFault(ctx, fault.SiteNodeStart, id, n, 0); err != nil {
+				return err
+			}
+			switch n.Kind {
+			case workflow.KindRecordset:
+				preds := g.Providers(id)
+				if len(preds) == 0 {
+					rows, err := c.engine.scanSource(n)
+					if err != nil {
+						return err
+					}
+					out[id] = rows
+				} else {
+					rows := c.engine.projectForTarget(out[preds[0]], g.Node(preds[0]).Out, n.RS.Schema)
+					if err := c.engine.checkFault(ctx, fault.SiteEmit, id, n, 0); err != nil {
+						return err
+					}
+					out[id] = rows
+					res.Targets[n.RS.Name] = rows
+					if rs, ok := c.engine.bindings[n.RS.Name]; ok {
+						if err := rs.Load(rows); err != nil {
+							return fmt.Errorf("engine: loading target %s: %w", n.RS.Name, err)
+						}
 					}
 				}
+			case workflow.KindActivity:
+				preds := g.Providers(id)
+				inputs := make([]data.Rows, len(preds))
+				schemas := make([]data.Schema, len(preds))
+				for i, p := range preds {
+					inputs[i] = out[p]
+					schemas[i] = g.Node(p).Out
+				}
+				rows, err := c.engine.execActivity(n, schemas, inputs)
+				if err != nil {
+					return fmt.Errorf("engine: activity %d (%s): %w", id, n.Label(), err)
+				}
+				out[id] = rows
 			}
-		case workflow.KindActivity:
-			preds := g.Providers(id)
-			inputs := make([]data.Rows, len(preds))
-			schemas := make([]data.Schema, len(preds))
-			for i, p := range preds {
-				inputs[i] = out[p]
-				schemas[i] = g.Node(p).Out
+			if stageable {
+				if err := c.engine.checkFault(ctx, fault.SiteStage, id, n, 0); err != nil {
+					return err
+				}
+				if err := c.saveStage(id, g.Node(id).Out, out[id]); err != nil {
+					return err
+				}
 			}
-			rows, err := c.engine.execActivity(n, schemas, inputs)
-			if err != nil {
-				return nil, fmt.Errorf("engine: activity %d (%s): %w", id, n.Label(), err)
-			}
-			out[id] = rows
+			return nil
+		}
+		if err := c.engine.runNode(ctx, id, n, body); err != nil {
+			return nil, err
 		}
 		res.NodeRows[id] = len(out[id])
-		if n.Kind == workflow.KindActivity || len(g.Providers(id)) == 0 {
-			if err := c.saveStage(id, g.Node(id).Out, out[id]); err != nil {
-				return nil, err
+		if resumed {
+			c.checkpointEvent("restored", id, n, len(out[id]))
+			if j := c.engine.journal; j != nil {
+				j.Emit(obs.ResumeEvent(nodeKey(id, n), len(out[id])))
 			}
+		} else if stageable {
 			c.checkpointEvent("staged", id, n, len(out[id]))
 		}
 	}

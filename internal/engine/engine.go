@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"etlopt/internal/data"
+	"etlopt/internal/fault"
 	"etlopt/internal/obs"
 	"etlopt/internal/workflow"
 )
@@ -82,6 +83,12 @@ type Engine struct {
 	// surrogate-key/lookup tables: Parallel mode builds each table once and
 	// every partition references the same read-only map.
 	lookups *lookupCache
+	// faults, when non-nil, is the armed fault-injection plan (see
+	// WithFaultPlan); nil disables every injection point.
+	faults *fault.Plan
+	// retry is the per-node retry policy (see WithRetry); the zero value
+	// runs every node exactly once.
+	retry fault.Policy
 }
 
 // Option configures an Engine.
@@ -205,38 +212,17 @@ func (e *Engine) runMaterialized(ctx context.Context, g *workflow.Graph, rm *run
 			return nil, fmt.Errorf("engine: run cancelled before node %d (%s) after %d rows: %w",
 				id, n.Label(), rowsSoFar, err)
 		}
-		switch n.Kind {
-		case workflow.KindRecordset:
-			preds := g.Providers(id)
-			if len(preds) == 0 {
-				rows, err := e.scanSource(n)
-				if err != nil {
-					return nil, err
-				}
-				out[id] = rows
-			} else {
-				rows := e.projectForTarget(out[preds[0]], g.Node(preds[0]).Out, n.RS.Schema)
-				out[id] = rows
-				res.Targets[n.RS.Name] = rows
-				if rs, ok := e.bindings[n.RS.Name]; ok {
-					if err := rs.Load(rows); err != nil {
-						return nil, fmt.Errorf("engine: loading target %s: %w", n.RS.Name, err)
-					}
-				}
-			}
-		case workflow.KindActivity:
-			preds := g.Providers(id)
-			inputs := make([]data.Rows, len(preds))
-			schemas := make([]data.Schema, len(preds))
-			for i, p := range preds {
-				inputs[i] = out[p]
-				schemas[i] = g.Node(p).Out
-			}
-			rows, err := e.execActivityTimed(id, n, schemas, inputs, rm)
-			if err != nil {
-				return nil, fmt.Errorf("engine: activity %d (%s): %w", id, n.Label(), err)
-			}
-			out[id] = rows
+		body := func() error {
+			return e.execMaterializedNode(ctx, g, id, n, out, res, rm)
+		}
+		var err error
+		if n.Kind == workflow.KindActivity {
+			err = e.runNodeJournaled(ctx, id, n, rm, func() int { return len(out[id]) }, body)
+		} else {
+			err = e.runNode(ctx, id, n, body)
+		}
+		if err != nil {
+			return nil, err
 		}
 		res.NodeRows[id] = len(out[id])
 		rowsSoFar += len(out[id])
@@ -245,13 +231,67 @@ func (e *Engine) runMaterialized(ctx context.Context, g *workflow.Graph, rm *run
 	return res, nil
 }
 
+// execMaterializedNode is one node's retryable body: fault checks frame
+// the computation so every side effect — recording the output, loading a
+// bound target — happens strictly after the node's last injection point,
+// making a retried node idempotent from the outside.
+func (e *Engine) execMaterializedNode(ctx context.Context, g *workflow.Graph, id workflow.NodeID, n *workflow.Node, out map[workflow.NodeID]data.Rows, res *RunResult, rm *runMetrics) error {
+	if err := e.checkFault(ctx, fault.SiteNodeStart, id, n, 0); err != nil {
+		return err
+	}
+	switch n.Kind {
+	case workflow.KindRecordset:
+		preds := g.Providers(id)
+		if len(preds) == 0 {
+			rows, err := e.scanSource(n)
+			if err != nil {
+				return err
+			}
+			if err := e.checkFault(ctx, fault.SiteEmit, id, n, 0); err != nil {
+				return err
+			}
+			out[id] = rows
+			return nil
+		}
+		rows := e.projectForTarget(out[preds[0]], g.Node(preds[0]).Out, n.RS.Schema)
+		if err := e.checkFault(ctx, fault.SiteEmit, id, n, 0); err != nil {
+			return err
+		}
+		out[id] = rows
+		res.Targets[n.RS.Name] = rows
+		if rs, ok := e.bindings[n.RS.Name]; ok {
+			if err := rs.Load(rows); err != nil {
+				return fmt.Errorf("engine: loading target %s: %w", n.RS.Name, err)
+			}
+		}
+	case workflow.KindActivity:
+		preds := g.Providers(id)
+		inputs := make([]data.Rows, len(preds))
+		schemas := make([]data.Schema, len(preds))
+		for i, p := range preds {
+			inputs[i] = out[p]
+			schemas[i] = g.Node(p).Out
+		}
+		rows, err := e.execActivityTimed(id, n, schemas, inputs, rm)
+		if err != nil {
+			return fmt.Errorf("engine: activity %d (%s): %w", id, n.Label(), err)
+		}
+		if err := e.checkFault(ctx, fault.SiteEmit, id, n, 0); err != nil {
+			return err
+		}
+		out[id] = rows
+	}
+	return nil
+}
+
 // execActivityTimed runs one activity, observing its latency into the
-// per-node stage histogram, a per-node child span, and the journal's
-// node event when any of those sinks is enabled. With every sink off the
-// clock is never read.
+// per-node stage histogram and a per-node child span when either sink is
+// enabled; with both off the clock is never read. The journal's node
+// event is emitted by the caller after the node (retries included)
+// succeeds, so a journal records one node event per completed node.
 func (e *Engine) execActivityTimed(id workflow.NodeID, n *workflow.Node, schemas []data.Schema, inputs []data.Rows, rm *runMetrics) (data.Rows, error) {
 	h := rm.latency(id)
-	if h == nil && !rm.journaling() {
+	if h == nil && !rm.spanning() {
 		return e.execActivity(n, schemas, inputs)
 	}
 	sp := rm.nodeSpan(id)
@@ -260,7 +300,6 @@ func (e *Engine) execActivityTimed(id workflow.NodeID, n *workflow.Node, schemas
 	sec := time.Since(start).Seconds()
 	sp.End()
 	h.Observe(sec)
-	rm.nodeEvent(id, len(rows), sec)
 	return rows, err
 }
 

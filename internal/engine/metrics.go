@@ -162,6 +162,9 @@ func (m *runMetrics) exchange(id workflow.NodeID) *obs.Counter {
 // journaling reports whether per-event journal emission is live.
 func (m *runMetrics) journaling() bool { return m != nil && m.j != nil }
 
+// spanning reports whether per-node child spans are live.
+func (m *runMetrics) spanning() bool { return m != nil && m.span != nil }
+
 // setSpan installs the run's mode span (nil-safe).
 func (m *runMetrics) setSpan(sp *obs.Span) {
 	if m != nil {

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"etlopt/internal/data"
+	"etlopt/internal/fault"
 	"etlopt/internal/workflow"
 )
 
@@ -257,38 +258,78 @@ func (e *Engine) runParallel(ctx context.Context, g *workflow.Graph, rm *runMetr
 		case workflow.KindRecordset:
 			preds := g.Providers(id)
 			if len(preds) == 0 {
-				rows, err := ec.scanSource(n)
-				if err != nil {
+				var pd *pdata
+				if err := e.runNode(ctx, id, n, func() error {
+					if err := e.checkFault(ctx, fault.SiteNodeStart, id, n, 0); err != nil {
+						return err
+					}
+					rows, err := ec.scanSource(n)
+					if err != nil {
+						return err
+					}
+					if err := e.checkFault(ctx, fault.SiteEmit, id, n, 0); err != nil {
+						return err
+					}
+					pd = scatterRows(rows, p)
+					return nil
+				}); err != nil {
 					return nil, err
 				}
-				out[id] = scatterRows(rows, p)
-				count = len(rows)
+				out[id] = pd
+				count = pd.total()
 			} else {
 				// Targets are where the partitioned world ends: merge the
-				// provider's partitions back into materialized order.
-				rows := gather(out[preds[0]])
-				rows = ec.projectForTarget(rows, g.Node(preds[0]).Out, n.RS.Schema)
-				res.Targets[n.RS.Name] = rows
-				if rs, ok := ec.bindings[n.RS.Name]; ok {
-					if err := rs.Load(rows); err != nil {
-						return nil, fmt.Errorf("engine: loading target %s: %w", n.RS.Name, err)
+				// provider's partitions back into materialized order. The
+				// emit check precedes the Load, so a retried target never
+				// loads twice.
+				if err := e.runNode(ctx, id, n, func() error {
+					if err := e.checkFault(ctx, fault.SiteNodeStart, id, n, 0); err != nil {
+						return err
 					}
+					rows := gather(out[preds[0]])
+					rows = ec.projectForTarget(rows, g.Node(preds[0]).Out, n.RS.Schema)
+					if err := e.checkFault(ctx, fault.SiteEmit, id, n, 0); err != nil {
+						return err
+					}
+					res.Targets[n.RS.Name] = rows
+					count = len(rows)
+					if rs, ok := ec.bindings[n.RS.Name]; ok {
+						if err := rs.Load(rows); err != nil {
+							return fmt.Errorf("engine: loading target %s: %w", n.RS.Name, err)
+						}
+					}
+					return nil
+				}); err != nil {
+					return nil, err
 				}
-				count = len(rows)
 			}
 		case workflow.KindActivity:
 			var pd *pdata
-			var err error
-			if sp := rm.nodeSpan(id); sp != nil || rm.journaling() {
-				start := time.Now()
-				pd, err = ec.execParallel(ctx, g, id, n, out, p, rm, rowsSoFar)
-				if err != nil {
-					return nil, err
+			if err := e.runNodeJournaled(ctx, id, n, rm, func() int { return pd.total() }, func() error {
+				if err := e.checkFault(ctx, fault.SiteNodeStart, id, n, 0); err != nil {
+					return err
 				}
-				sec := time.Since(start).Seconds()
+				sp := rm.nodeSpan(id)
+				var err error
+				pd, err = ec.execParallel(ctx, g, id, n, out, p, rm, rowsSoFar)
 				sp.End()
-				rm.nodeEvent(id, pd.total(), sec)
-			} else if pd, err = ec.execParallel(ctx, g, id, n, out, p, rm, rowsSoFar); err != nil {
+				if err != nil {
+					return err
+				}
+				// Per-partition emit checks mirror forEachPartition's
+				// no-short-circuit rule: every partition's occurrence is
+				// consumed even after one fires, so the plan's schedule is
+				// independent of which partition fails first.
+				var emitErr error
+				if e.faults != nil {
+					for q := 0; q < p; q++ {
+						if ferr := e.checkFault(ctx, fault.SiteEmit, id, n, q); ferr != nil && emitErr == nil {
+							emitErr = ferr
+						}
+					}
+				}
+				return emitErr
+			}); err != nil {
 				return nil, err
 			}
 			out[id] = pd
@@ -360,6 +401,9 @@ func (e *Engine) exchangeByKey(ctx context.Context, id workflow.NodeID, n *workf
 	// into per-destination buckets; buckets inherit ascending tags.
 	buckets := make([][]pslice, p) // [src][dst]
 	err := e.forEachPartition(ctx, id, n, p, rm, rowsSoFar, func(q int) error {
+		if err := e.checkFault(ctx, fault.SiteExchange, id, n, q); err != nil {
+			return err
+		}
 		dst := make([]pslice, p)
 		ps := pd.parts[q]
 		for i, r := range ps.rows {

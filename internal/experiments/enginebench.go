@@ -9,6 +9,7 @@ import (
 
 	"etlopt/internal/data"
 	"etlopt/internal/engine"
+	"etlopt/internal/fault"
 	"etlopt/internal/generator"
 )
 
@@ -40,6 +41,10 @@ type EngineReport struct {
 	// ~1 or below: partitions time-slice one core and only the overhead of
 	// scatter, exchange and merge remains visible.
 	CPUs int `json:"cpus"`
+
+	// FaultSpec records the "seed:rate" chaos arming of the parallel
+	// runs, empty when the benchmark ran clean.
+	FaultSpec string `json:"fault_spec,omitempty"`
 
 	Scenarios    int  `json:"scenarios"`
 	AllIdentical bool `json:"all_identical"`
@@ -75,11 +80,21 @@ func EngineBench(ctx context.Context, cfg SuiteConfig) (*EngineReport, error) {
 	if dataRows <= 0 {
 		dataRows = 8000
 	}
+	var faultSeed int64
+	var faultRate float64
+	if cfg.FaultSpec != "" {
+		var err error
+		faultSeed, faultRate, err = fault.ParseSpec(cfg.FaultSpec)
+		if err != nil {
+			return nil, fmt.Errorf("engine bench: %w", err)
+		}
+	}
 	rep := &EngineReport{
 		Seed:         cfg.Seed,
 		DataRows:     dataRows,
 		Partitions:   partitions,
 		CPUs:         runtime.NumCPU(),
+		FaultSpec:    cfg.FaultSpec,
 		AllIdentical: true,
 	}
 	var matSec float64
@@ -114,9 +129,18 @@ func EngineBench(ctx context.Context, cfg SuiteConfig) (*EngineReport, error) {
 				run.TargetRows += len(rows)
 			}
 			for pi, p := range partitions {
-				par, err := engine.New(sc.Bind(),
+				eopts := []engine.Option{
 					engine.WithMode(engine.Parallel), engine.WithPartitions(p),
-					engine.WithMetrics(cfg.Metrics)).Run(ctx, sc.Graph)
+					engine.WithMetrics(cfg.Metrics),
+				}
+				if cfg.FaultSpec != "" {
+					// A fresh plan per run keeps occurrence counters — and so
+					// the injection schedule — independent across runs.
+					eopts = append(eopts,
+						engine.WithFaultPlan(fault.NewPlan(faultSeed, faultRate)),
+						engine.WithRetry(fault.Policy{MaxAttempts: 8, Seed: faultSeed}))
+				}
+				par, err := engine.New(sc.Bind(), eopts...).Run(ctx, sc.Graph)
 				if err != nil {
 					return nil, fmt.Errorf("engine bench: %s workflow %d P=%d: %w", cat, i+1, p, err)
 				}

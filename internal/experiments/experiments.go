@@ -85,6 +85,12 @@ type SuiteConfig struct {
 	// DataRows overrides the generator's per-source record volume for
 	// EngineBench (0 = 8000). RunSuite keeps the category default.
 	DataRows int
+	// FaultSpec, when non-empty, arms deterministic fault injection on
+	// EngineBench's parallel runs as "seed:rate" (etlbench's -faults
+	// flag). Each run gets a fresh plan from the same seed plus a retry
+	// budget, so the bit-identity check demonstrates recovery
+	// equivalence under chaos; the materialized reference stays clean.
+	FaultSpec string
 	// Verify additionally runs every optimized workflow against the
 	// empirical equivalence oracle (slower; always on in tests).
 	Verify bool

@@ -1,0 +1,102 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// Policy is a per-node retry budget with capped exponential backoff. The
+// zero value disables retries (one attempt, no delays).
+type Policy struct {
+	// MaxAttempts is the total attempt budget per node, first try
+	// included; values below 2 disable retries.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; each further
+	// retry doubles it. Zero means no delay (the property tests use
+	// this to keep 200-workflow suites fast).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff; zero means uncapped.
+	MaxDelay time.Duration
+	// Seed drives the deterministic jitter: the same seed always yields
+	// the same backoff sequence.
+	Seed int64
+}
+
+// Enabled reports whether the policy allows more than one attempt.
+func (p Policy) Enabled() bool { return p.MaxAttempts > 1 }
+
+// Backoff returns the delay before retry number attempt (1-based). The
+// schedule is BaseDelay·2^(attempt-1) capped at MaxDelay, then jittered
+// deterministically into [d/2, d): a hash of (Seed, attempt) picks the
+// point, so a fixed seed replays the exact same delays and no delay ever
+// exceeds the ceiling.
+func (p Policy) Backoff(attempt int) time.Duration {
+	if p.BaseDelay <= 0 || attempt < 1 {
+		return 0
+	}
+	d := p.BaseDelay
+	for i := 1; i < attempt; i++ {
+		if d > maxDuration/2 || (p.MaxDelay > 0 && d >= p.MaxDelay) {
+			break
+		}
+		d *= 2
+	}
+	if p.MaxDelay > 0 && d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	half := d / 2
+	j := unit(splitmix64(uint64(p.Seed) ^ (uint64(attempt)+1)*0x9e3779b97f4a7c15))
+	return half + time.Duration(float64(half)*j)
+}
+
+const maxDuration = time.Duration(1<<63 - 1)
+
+// IsTransient reports whether err may be retried: a typed *Injected of
+// transient kind, or any error exposing Transient() bool, anywhere in
+// the wrap chain. Context cancellation and deadline expiry are never
+// transient — retrying a cancelled run only delays shutdown.
+func IsTransient(err error) bool {
+	if err == nil ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}
+
+// Do runs fn under the policy: transient failures are retried with
+// backoff until the attempt budget runs out, while permanent failures
+// (and context cancellation) return immediately without consuming the
+// remaining budget. onRetry, if non-nil, observes each retry before its
+// backoff sleep with the upcoming attempt number (2-based), the delay,
+// and the error that caused it.
+func (p Policy) Do(ctx context.Context, fn func() error, onRetry func(attempt int, delay time.Duration, cause error)) error {
+	attempts := p.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for a := 1; ; a++ {
+		err = fn()
+		if err == nil || a >= attempts || !IsTransient(err) {
+			return err
+		}
+		delay := p.Backoff(a)
+		if onRetry != nil {
+			onRetry(a+1, delay, err)
+		}
+		if delay > 0 {
+			t := time.NewTimer(delay)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			case <-t.C:
+			}
+		} else if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+	}
+}

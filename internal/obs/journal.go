@@ -59,6 +59,17 @@ const (
 	// EventDrift is one observed-vs-modeled selectivity comparison:
 	// Node identifies the activity, Observed and Modeled the two values.
 	EventDrift = "drift"
+	// EventFault is one injected fault firing: Node and Part locate it,
+	// Action names the injection site, Detail the kind
+	// (transient/permanent).
+	EventFault = "fault"
+	// EventRetry is one retry of a transiently failed node: Attempt is
+	// the upcoming attempt number, Sec the backoff delay before it,
+	// Detail the error that caused it.
+	EventRetry = "retry"
+	// EventResume is one checkpoint-resume hit: the runner skipped
+	// recomputing Node because Rows staged rows survived a crash.
+	EventResume = "resume"
 	// EventSummary is the trailing accounting record Close writes: Events,
 	// Dropped and Errors report the journal's own bookkeeping.
 	EventSummary = "summary"
@@ -88,6 +99,7 @@ type Event struct {
 	Observed float64 `json:"observed,omitempty"`
 	Modeled  float64 `json:"modeled,omitempty"`
 	Detail   string  `json:"detail,omitempty"`
+	Attempt  int     `json:"attempt,omitempty"`
 	Events   int64   `json:"events,omitempty"`
 	Dropped  int64   `json:"dropped,omitempty"`
 	Errors   int64   `json:"errors,omitempty"`
@@ -144,6 +156,24 @@ func DriftEvent(node string, observed, modeled float64) Event {
 	return Event{T: EventDrift, Node: node, Observed: observed, Modeled: modeled}
 }
 
+// FaultEvent records one injected fault: site is the injection point,
+// kind "transient" or "permanent".
+func FaultEvent(node string, part int, site, kind string) Event {
+	return Event{T: EventFault, Node: node, Part: part, Action: site, Detail: kind}
+}
+
+// RetryEvent records one retry: attempt is the upcoming attempt number,
+// delaySec the backoff before it, detail the error that caused it.
+func RetryEvent(node string, attempt int, delaySec float64, detail string) Event {
+	return Event{T: EventRetry, Node: node, Attempt: attempt, Sec: delaySec, Detail: detail}
+}
+
+// ResumeEvent records a checkpoint-resume hit for node with rows staged
+// rows restored instead of recomputed.
+func ResumeEvent(node string, rows int) Event {
+	return Event{T: EventResume, Node: node, Rows: int64(rows)}
+}
+
 // journalChanCap bounds the in-flight event buffer: the journal never
 // holds more than this many unwritten events; beyond it, events drop (and
 // are counted) rather than block the instrumented code.
@@ -154,14 +184,14 @@ const journalChanCap = 8192
 // the CLIs close after their search/engine call returns). A nil *Journal
 // ignores every call.
 type Journal struct {
-	ch      chan Event
-	done    chan struct{}
-	start   time.Time
-	seq     atomic.Int64
-	written atomic.Int64
-	dropped atomic.Int64
-	errs    atomic.Int64
-	closed  atomic.Bool
+	ch            chan Event
+	done          chan struct{}
+	start         time.Time
+	seq           atomic.Int64
+	written       atomic.Int64
+	dropped       atomic.Int64
+	errs          atomic.Int64
+	closed        atomic.Bool
 	firstWriteErr error // owned by the writer goroutine until done closes
 
 	w     *bufio.Writer

@@ -16,9 +16,14 @@ package proptest
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"math"
+	"os"
+	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 
 	"etlopt/internal/core"
 	"etlopt/internal/cost"
@@ -26,6 +31,7 @@ import (
 	"etlopt/internal/dsl"
 	"etlopt/internal/engine"
 	"etlopt/internal/equiv"
+	"etlopt/internal/fault"
 	"etlopt/internal/obs"
 	"etlopt/internal/templates"
 	"etlopt/internal/transitions"
@@ -418,6 +424,227 @@ func journalWellFormed(raw []byte) error {
 	if body := int64(len(evs) - 1); last.Events+last.Dropped < body {
 		return fmt.Errorf("summary accounts for %d events (+%d dropped), file holds %d",
 			last.Events, last.Dropped, body)
+	}
+	return nil
+}
+
+// CheckFaultRecoveryEquivalence asserts the fault subsystem's headline
+// guarantee on one scenario: any faulty run that ultimately succeeds —
+// via per-node retries or a checkpoint resume — is bit-identical to the
+// clean run in row order, per-node row counts, and the journal's own
+// per-node row counters. Three probes per scenario:
+//
+//	(a) a seeded transient plan with a retry budget, in parallel mode at
+//	    each partition count: the run must converge and match the clean
+//	    materialized reference exactly, and its journal must record the
+//	    faults and the retries that recovered them;
+//	(b) a rate-1 permanent plan: the run must fail with a typed
+//	    *fault.Injected naming node, partition, and injection site, no
+//	    matter the retry budget;
+//	(c) crash-restart resume: a checkpointed run killed mid-workflow by a
+//	    permanent fault, re-run fault-free over the same staging dir,
+//	    must resume from the staged frontier and reproduce the clean
+//	    result exactly.
+func CheckFaultRecoveryEquivalence(sc *templates.Scenario, seed int64, partitions []int) error {
+	ctx := context.Background()
+	clean, err := engine.New(sc.Bind()).Run(ctx, sc.Graph)
+	if err != nil {
+		return fmt.Errorf("clean run: %w", err)
+	}
+
+	for _, p := range partitions {
+		// (a) Transient faults under retry. MaxPerKey 1 bounds the failed
+		// attempts of one node by its injection-site depth (restore, start,
+		// exchange, emit), so a budget of 8 guarantees convergence.
+		plan := fault.NewPlan(seed, 0.35)
+		var buf bytes.Buffer
+		j := obs.NewJournal(&buf, nil)
+		rec, err := engine.New(sc.Bind(),
+			engine.WithMode(engine.Parallel), engine.WithPartitions(p),
+			engine.WithJournal(j),
+			engine.WithFaultPlan(plan),
+			engine.WithRetry(fault.Policy{MaxAttempts: 8, Seed: seed}),
+		).Run(ctx, sc.Graph)
+		if err != nil {
+			return fmt.Errorf("P=%d: faulted run failed despite retries (%d faults fired): %w", p, plan.Injected(), err)
+		}
+		if cerr := j.Close(); cerr != nil {
+			return fmt.Errorf("P=%d: closing journal: %w", p, cerr)
+		}
+		if err := sameRunResult(clean, rec); err != nil {
+			return fmt.Errorf("P=%d: recovered run diverges from clean run: %w", p, err)
+		}
+		if err := faultJournalConsistent(buf.Bytes(), clean, plan.Injected()); err != nil {
+			return fmt.Errorf("P=%d: %w", p, err)
+		}
+
+		// (b) A permanent fault fails the run with full attribution,
+		// regardless of the retry budget.
+		pplan := fault.NewPlan(seed+1, 1, fault.WithKind(fault.Permanent))
+		_, err = engine.New(sc.Bind(),
+			engine.WithMode(engine.Parallel), engine.WithPartitions(p),
+			engine.WithFaultPlan(pplan),
+			engine.WithRetry(fault.Policy{MaxAttempts: 8, Seed: seed}),
+		).Run(ctx, sc.Graph)
+		if err == nil {
+			return fmt.Errorf("P=%d: permanent rate-1 plan did not fail the run", p)
+		}
+		var inj *fault.Injected
+		if !errors.As(err, &inj) {
+			return fmt.Errorf("P=%d: permanent failure is not a typed *fault.Injected: %v", p, err)
+		}
+		if inj.Kind != fault.Permanent || inj.Site == "" || inj.Node < 0 || inj.Part < 0 {
+			return fmt.Errorf("P=%d: permanent fault attribution incomplete: %+v", p, inj)
+		}
+	}
+
+	// (c) Crash-restart resume through the checkpoint runner. Permanent
+	// faults at stage/start points kill the run mid-workflow, leaving the
+	// frontier staged; the fault-free re-run must resume and match.
+	dir, err := os.MkdirTemp("", "etlopt-faultrec-")
+	if err != nil {
+		return fmt.Errorf("staging dir: %w", err)
+	}
+	defer os.RemoveAll(dir)
+	stage := filepath.Join(dir, "stage")
+	crashPlan := fault.NewPlan(seed+2, 0.5, fault.WithKind(fault.Permanent),
+		fault.WithSites(fault.SiteStage, fault.SiteNodeStart))
+	cr, err := engine.NewCheckpointRunner(engine.New(sc.Bind(), engine.WithFaultPlan(crashPlan)), stage)
+	if err != nil {
+		return err
+	}
+	_, crashErr := cr.Run(ctx, sc.Graph)
+	staged, _ := cr.Staged()
+	var rbuf bytes.Buffer
+	rj := obs.NewJournal(&rbuf, nil)
+	cr2, err := engine.NewCheckpointRunner(engine.New(sc.Bind(), engine.WithJournal(rj)), stage)
+	if err != nil {
+		return err
+	}
+	res, err := cr2.Run(ctx, sc.Graph)
+	if err != nil {
+		return fmt.Errorf("resume run failed after crash (%v): %w", crashErr, err)
+	}
+	if cerr := rj.Close(); cerr != nil {
+		return fmt.Errorf("closing resume journal: %w", cerr)
+	}
+	if err := sameRunResult(clean, res); err != nil {
+		return fmt.Errorf("resumed run diverges from clean run: %w", err)
+	}
+	if crashErr != nil && len(staged) > 0 {
+		evs, err := obs.ReadJournal(bytes.NewReader(rbuf.Bytes()))
+		if err != nil {
+			return fmt.Errorf("resume journal unreadable: %w", err)
+		}
+		resumes := 0
+		for _, e := range evs {
+			if e.T == obs.EventResume {
+				resumes++
+			}
+		}
+		if resumes == 0 {
+			return fmt.Errorf("crash left %d staged outputs but the resumed run journaled no resume events", len(staged))
+		}
+	}
+	return nil
+}
+
+// sameRunResult requires a recovered run to be indistinguishable from the
+// clean one: the same targets with byte-identical row order, and the same
+// per-node row counts.
+func sameRunResult(want, got *engine.RunResult) error {
+	if len(got.Targets) != len(want.Targets) {
+		return fmt.Errorf("%d targets, clean run loaded %d", len(got.Targets), len(want.Targets))
+	}
+	names := make([]string, 0, len(want.Targets))
+	for name := range want.Targets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rows, ok := got.Targets[name]
+		if !ok {
+			return fmt.Errorf("target %s missing", name)
+		}
+		if err := sameRowOrder(want.Targets[name], rows); err != nil {
+			return fmt.Errorf("target %s: %w", name, err)
+		}
+	}
+	ids := make([]workflow.NodeID, 0, len(want.NodeRows))
+	for id := range want.NodeRows {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if got.NodeRows[id] != want.NodeRows[id] {
+			return fmt.Errorf("node %d emitted %d rows, clean run %d", id, got.NodeRows[id], want.NodeRows[id])
+		}
+	}
+	return nil
+}
+
+// faultJournalConsistent checks a recovered run's journal: well-formed
+// framing, exactly one node event per completed activity carrying the
+// clean run's row count (the journal's row counters are part of the
+// bit-identity contract), attributed fault events, and — whenever the
+// plan fired — at least one retry event backing the recovery.
+func faultJournalConsistent(raw []byte, clean *engine.RunResult, injected int) error {
+	if err := journalWellFormed(raw); err != nil {
+		return err
+	}
+	evs, err := obs.ReadJournal(bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	nodeEvents := make(map[int]int)
+	nodeRows := make(map[int]int64)
+	faults, retries := 0, 0
+	for _, e := range evs {
+		switch e.T {
+		case obs.EventNode:
+			ids, _, _ := strings.Cut(e.Node, ":")
+			id, err := strconv.Atoi(ids)
+			if err != nil {
+				return fmt.Errorf("node event with unparseable key %q: %w", e.Node, err)
+			}
+			nodeEvents[id]++
+			nodeRows[id] = e.Rows
+		case obs.EventFault:
+			faults++
+			if e.Node == "" || e.Action == "" || e.Detail == "" {
+				return fmt.Errorf("fault event missing attribution: %+v", e)
+			}
+		case obs.EventRetry:
+			retries++
+			if e.Node == "" || e.Attempt < 2 {
+				return fmt.Errorf("retry event malformed: %+v", e)
+			}
+		}
+	}
+	ids := make([]workflow.NodeID, 0, len(clean.NodeRows))
+	for id := range clean.NodeRows {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		c, ok := nodeEvents[int(id)]
+		if !ok {
+			continue // recordsets journal no node events
+		}
+		if c != 1 {
+			return fmt.Errorf("node %d journaled %d node events, want 1 per completed node", id, c)
+		}
+		if nodeRows[int(id)] != int64(clean.NodeRows[id]) {
+			return fmt.Errorf("node %d journal rows %d, clean run emitted %d", id, nodeRows[int(id)], clean.NodeRows[id])
+		}
+	}
+	if injected > 0 {
+		if faults == 0 {
+			return fmt.Errorf("plan fired %d faults but the journal holds no fault events", injected)
+		}
+		if retries == 0 {
+			return fmt.Errorf("run recovered from %d faults with no journaled retries", injected)
+		}
 	}
 	return nil
 }

@@ -136,6 +136,47 @@ func TestJournalInvariance(t *testing.T) {
 	t.Logf("checked %d generated workflows at W=%v, P=%v", total, workers, partitions)
 }
 
+// TestFaultRecoveryEquivalence is the metamorphic guard for the fault
+// subsystem: ~200 seeded random workflows, each run clean and then under
+// a seeded transient fault plan with retries at P ∈ {1, 8}, under a
+// rate-1 permanent plan (must fail with a typed, attributed error), and
+// through a crash-restart resume of the checkpoint runner. Any faulty
+// run that ultimately succeeds must be bit-identical to the clean run —
+// row order, per-node row counts, and the journal's row counters. Under
+// -race this also exercises the injection points' concurrent occurrence
+// accounting inside the partition workers.
+func TestFaultRecoveryEquivalence(t *testing.T) {
+	counts := []struct {
+		cat generator.Category
+		n   int
+	}{
+		{generator.Small, 140},
+		{generator.Medium, 40},
+		{generator.Large, 20},
+	}
+	if testing.Short() {
+		counts[0].n, counts[1].n, counts[2].n = 24, 6, 2
+	}
+	partitions := []int{1, 8}
+	total := 0
+	for _, c := range counts {
+		scs := suiteFor(t, c.cat, c.n, propSeed+int64(c.cat)*104729)
+		for i, sc := range scs {
+			sc, i, c := sc, i, c
+			t.Run(fmt.Sprintf("%s-%02d", c.cat, i+1), func(t *testing.T) {
+				t.Parallel()
+				// Derive the fault seed from the scenario index so each
+				// workflow sees a different — but fixed — schedule.
+				if err := proptest.CheckFaultRecoveryEquivalence(sc, propSeed+int64(c.cat)*104729+int64(i), partitions); err != nil {
+					t.Fatalf("scenario %s seed base %d index %d: %v", c.cat, propSeed, i, err)
+				}
+			})
+		}
+		total += len(scs)
+	}
+	t.Logf("checked %d generated workflows at P=%v", total, partitions)
+}
+
 // TestSearchMutationLeak byte-compares every expanded parent's serialized
 // form before and after expansion across several search depths — the
 // aliasing regression the race detector can't catch, because no data race

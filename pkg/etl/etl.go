@@ -14,8 +14,8 @@
 //	run, err := etl.Run(ctx, res.Best, bindings, etl.WithPartitions(8))
 //
 // Search options (WithAlgorithm, WithWorkers, …) configure Optimize;
-// engine options (WithMode, WithPartitions, WithBatchSize) configure Run;
-// WithMetrics configures both. Passing an option to the entry point it
+// engine options (WithMode, WithPartitions, WithBatchSize, WithFaultPlan,
+// WithRetry) configure Run; WithMetrics configures both. Passing an option to the entry point it
 // does not affect is harmless, so one option slice can serve a whole
 // pipeline. The legacy Options struct still works as an Option value.
 //
@@ -34,6 +34,7 @@ import (
 	"etlopt/internal/dsl"
 	"etlopt/internal/engine"
 	"etlopt/internal/equiv"
+	"etlopt/internal/fault"
 	"etlopt/internal/obs"
 	"etlopt/internal/workflow"
 )
@@ -94,6 +95,46 @@ type (
 	// JournalEvent is one journal record; all event types share this flat
 	// shape.
 	JournalEvent = obs.Event
+	// FaultPlan is a deterministic fault-injection schedule: a pure
+	// function of (seed, injection site, node, partition, occurrence), so
+	// the same plan replays the same failures on every run. Build one
+	// with NewFaultPlan and arm it via WithFaultPlan.
+	FaultPlan = fault.Plan
+	// FaultInjected is the typed error an armed FaultPlan returns, naming
+	// the injection site, node, partition and occurrence.
+	FaultInjected = fault.Injected
+	// RetryPolicy bounds per-node retries of transient failures with
+	// capped, deterministically jittered exponential backoff. Arm it via
+	// WithRetry.
+	RetryPolicy = fault.Policy
+	// FaultPlanOption refines a NewFaultPlan call (kind, latency, site
+	// filter, per-key budget).
+	FaultPlanOption = fault.PlanOption
+	// FaultKind distinguishes transient (retryable) from permanent
+	// injected faults.
+	FaultKind = fault.Kind
+)
+
+// Fault kinds for WithFaultKind.
+const (
+	// FaultTransient faults succeed on retry — the default kind.
+	FaultTransient = fault.Transient
+	// FaultPermanent faults fail the run regardless of retry budget.
+	FaultPermanent = fault.Permanent
+)
+
+// FaultPlan refinements, passed to NewFaultPlan.
+var (
+	// WithFaultKind sets the kind of every injected fault.
+	WithFaultKind = fault.WithKind
+	// WithFaultLatency adds a context-aware sleep before each injected
+	// failure, modeling slow-then-dead dependencies.
+	WithFaultLatency = fault.WithLatency
+	// WithFaultSites restricts injection to the listed sites.
+	WithFaultSites = fault.WithSites
+	// WithFaultMaxPerKey caps how often one (site, node, partition) key
+	// may fire (default 1).
+	WithFaultMaxPerKey = fault.WithMaxPerKey
 )
 
 // Execution modes for WithMode.
@@ -148,6 +189,8 @@ type settings struct {
 	metrics    *MetricsRegistry
 	journal    *Journal
 	profile    bool
+	faultPlan  *FaultPlan
+	retry      RetryPolicy
 }
 
 // WithAlgorithm selects the optimization search (default HS). Optimize
@@ -240,6 +283,23 @@ func WithBatchSize(n int) Option {
 	return optionFunc(func(s *settings) { s.batch = n })
 }
 
+// WithFaultPlan arms deterministic fault injection on the run: the plan
+// decides, as a pure function of its seed and each injection site, which
+// node starts, batch emits, repartition exchanges and checkpoint steps
+// fail. Pair it with WithRetry to exercise recovery; without a retry
+// policy every injected fault surfaces as a *FaultInjected error. Run
+// only.
+func WithFaultPlan(p *FaultPlan) Option {
+	return optionFunc(func(s *settings) { s.faultPlan = p })
+}
+
+// WithRetry re-runs transiently failed nodes under the policy's attempt
+// budget and capped, deterministically jittered exponential backoff.
+// Permanent faults and context cancellation are never retried. Run only.
+func WithRetry(p RetryPolicy) Option {
+	return optionFunc(func(s *settings) { s.retry = p })
+}
+
 // defaultMetrics is the package-level registry Metrics returns: the
 // rendezvous point for applications that want one process-wide view of
 // every Optimize and Run they route through it.
@@ -274,6 +334,16 @@ var ReadJournal = obs.ReadJournal
 
 // ReadJournalFile parses a JSONL journal file back into events.
 var ReadJournalFile = obs.ReadJournalFile
+
+// NewFaultPlan builds a deterministic fault-injection plan from a seed
+// and a per-occurrence firing rate in [0, 1]; see WithFaultPlan. The
+// internal/fault package's options (kind, latency, site filter,
+// per-key budget) refine it.
+var NewFaultPlan = fault.NewPlan
+
+// ParseFaultSpec parses the CLI-style "seed:rate" fault arming shared by
+// etlrun and etlbench into NewFaultPlan's arguments.
+var ParseFaultSpec = fault.ParseSpec
 
 // NewGraph returns an empty workflow graph.
 func NewGraph() *Graph { return workflow.NewGraph() }
@@ -417,6 +487,12 @@ func Run(ctx context.Context, g *Graph, bindings map[string]Recordset, opts ...O
 	}
 	if s.profile {
 		eopts = append(eopts, engine.WithPprofLabels())
+	}
+	if s.faultPlan != nil {
+		eopts = append(eopts, engine.WithFaultPlan(s.faultPlan))
+	}
+	if s.retry.Enabled() {
+		eopts = append(eopts, engine.WithRetry(s.retry))
 	}
 	return engine.New(bindings, eopts...).Run(ctx, g)
 }

@@ -3,6 +3,7 @@ package etl_test
 import (
 	"bytes"
 	"context"
+	"errors"
 	"testing"
 
 	"etlopt/internal/cost"
@@ -236,5 +237,50 @@ func TestOneOptionSliceForBothEntryPoints(t *testing.T) {
 	}
 	if !sawSearch || !sawEngine {
 		t.Errorf("shared registry missing series: search=%v engine=%v", sawSearch, sawEngine)
+	}
+}
+
+// TestRunFaultOptions pins the facade's failure-path surface: a seeded
+// transient plan plus a retry policy recovers to the clean answer, the
+// same seed under a permanent kind surfaces a typed *FaultInjected, and
+// a zero-value RetryPolicy leaves the engine untouched.
+func TestRunFaultOptions(t *testing.T) {
+	ctx := context.Background()
+	g, err := etl.Parse(quickstartDSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := etl.Run(ctx, g, buildBindings())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	recovered, err := etl.Run(ctx, g, buildBindings(),
+		etl.WithPartitions(4),
+		etl.WithFaultPlan(etl.NewFaultPlan(42, 1.0)),
+		etl.WithRetry(etl.RetryPolicy{MaxAttempts: 8, Seed: 42}),
+	)
+	if err != nil {
+		t.Fatalf("faulted run did not recover: %v", err)
+	}
+	if got, want := len(recovered.Targets["DW"]), len(clean.Targets["DW"]); got != want {
+		t.Errorf("recovered run loaded %d rows, clean run %d", got, want)
+	}
+
+	_, err = etl.Run(ctx, g, buildBindings(),
+		etl.WithFaultPlan(etl.NewFaultPlan(42, 1.0, etl.WithFaultKind(etl.FaultPermanent))),
+		etl.WithRetry(etl.RetryPolicy{MaxAttempts: 8, Seed: 42}),
+	)
+	var inj *etl.FaultInjected
+	if !errors.As(err, &inj) {
+		t.Fatalf("permanent plan did not surface a typed *etl.FaultInjected: %v", err)
+	}
+	if inj.Site == "" || inj.Kind != etl.FaultPermanent {
+		t.Errorf("attribution incomplete: %+v", inj)
+	}
+
+	seed, rate, err := etl.ParseFaultSpec("7:0.25")
+	if err != nil || seed != 7 || rate != 0.25 {
+		t.Errorf("ParseFaultSpec: got (%d, %v, %v)", seed, rate, err)
 	}
 }
