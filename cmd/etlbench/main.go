@@ -15,6 +15,10 @@
 //	                         # same baseline under deterministic chaos: faults
 //	                         # injected into the parallel runs, retried, and
 //	                         # still required bit-identical to materialized
+//	etlbench -shared FILE    # shared-work suite scheduler baseline
+//	                         # (BENCH_shared.json): shared-prefix suites run
+//	                         # independently and as one RunSuite job, required
+//	                         # bit-identical, savings and speedup recorded
 //	etlbench -compare OLD NEW [-tolerance 0.2]
 //	                         # perf-regression gate over two baseline reports
 //	                         # (BENCH_expand.json / BENCH_engine.json schema):
@@ -67,6 +71,8 @@ func run() error {
 		partsFlag = flag.String("partitions", "", "engine data parallelism: comma-separated partition counts (e.g. 1,2,4,8); adds parallel exec columns to Table 2 and sets the -engine measurement points")
 		dataRows  = flag.Int("datarows", 0, "records generated per source for -engine (0 = 8000)")
 		engineOut = flag.String("engine", "", "run the partition-parallel engine baseline over the suite, write the JSON report here, and exit")
+		sharedOut = flag.String("shared", "", "run the shared-work suite scheduler baseline (-counts suites per category of -suitesize shared-prefix workflows), write the JSON report here, and exit")
+		suiteSize = flag.Int("suitesize", 3, "workflows per shared suite for -shared")
 		faults    = flag.String("faults", "", "arm deterministic fault injection on -engine's parallel runs as seed:rate (e.g. 42:0.05); transient faults are retried and bit-identity is still required")
 		verify    = flag.Bool("verify", false, "validate every optimized workflow on generated data")
 		fig4      = flag.Bool("fig4", false, "print only the Fig. 4 cost cases")
@@ -123,6 +129,9 @@ func run() error {
 	}
 	if *engineOut != "" {
 		return runEngine(*engineOut, countMap, *seed, partitions, *dataRows, *faults, !*quiet)
+	}
+	if *sharedOut != "" {
+		return runShared(*sharedOut, countMap, *seed, *suiteSize, *dataRows, *workers, !*quiet)
 	}
 	if *faults != "" {
 		return fmt.Errorf("-faults only applies to the -engine baseline")
@@ -264,8 +273,36 @@ func runEngine(path string, counts map[generator.Category]int, seed int64, parti
 	return nil
 }
 
-// benchReport is the union of the BENCH_expand.json and
-// BENCH_engine.json schemas, reduced to the fields the regression gate
+// runShared records the shared-work suite scheduler baseline: shared-prefix
+// suites executed independently and as one RunSuite job, every member
+// verified bit-identical between the two, with node/byte savings and the
+// wall-clock speedup landing in the JSON report (BENCH_shared.json in CI).
+func runShared(path string, counts map[generator.Category]int, seed int64, suiteSize, dataRows, workers int, progress bool) error {
+	cfg := experiments.SharedConfig{
+		Seed: seed, Counts: counts, SuiteSize: suiteSize,
+		DataRows: dataRows, Workers: workers,
+	}
+	if progress {
+		cfg.Progress = os.Stderr
+	}
+	rep, err := experiments.SharedBench(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	rep.Summary(os.Stdout)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "shared-work baseline written to %s\n", path)
+	return nil
+}
+
+// benchReport is the union of the BENCH_expand.json, BENCH_engine.json and
+// BENCH_shared.json schemas, reduced to the fields the regression gate
 // reads. Metrics absent from a report decode to zero and are skipped.
 type benchReport struct {
 	AllIdentical            *bool     `json:"all_identical"`
@@ -274,6 +311,9 @@ type benchReport struct {
 	MaterializedRowsPerSec  float64   `json:"materialized_rows_per_sec"`
 	Partitions              []int     `json:"partitions"`
 	ParallelRowsPerSec      []float64 `json:"parallel_rows_per_sec"`
+	SharedRowsPerSec        float64   `json:"shared_rows_per_sec"`
+	SharedSpeedup           float64   `json:"shared_speedup"`
+	RecomputationSavedBytes float64   `json:"recomputation_saved_bytes"`
 }
 
 func readBenchReport(path string) (*benchReport, error) {
@@ -316,6 +356,9 @@ func compareReports(oldPath, newPath string, tol float64) error {
 		{"incremental_states_per_sec", old.IncrementalStatesPerSec, cur.IncrementalStatesPerSec},
 		{"full_clone_states_per_sec", old.FullCloneStatesPerSec, cur.FullCloneStatesPerSec},
 		{"materialized_rows_per_sec", old.MaterializedRowsPerSec, cur.MaterializedRowsPerSec},
+		{"shared_rows_per_sec", old.SharedRowsPerSec, cur.SharedRowsPerSec},
+		{"shared_speedup", old.SharedSpeedup, cur.SharedSpeedup},
+		{"recomputation_saved_bytes", old.RecomputationSavedBytes, cur.RecomputationSavedBytes},
 	}
 	curParallel := map[int]float64{}
 	for i, p := range cur.Partitions {

@@ -10,6 +10,14 @@
 // With -data, the generated source rows and surrogate-key lookup tables
 // are also written as <datadir>/<name>.csv, so the emitted workflows are
 // directly executable: etlrun -in out/small-01.etl -data datadir.
+//
+// With -suite N, etlgen instead emits N workflows that share their
+// extract/clean prefix — identical sources, source data and branch
+// pipelines, diverging post-union — the shape etlrun's suite mode and the
+// shared-work scheduler exploit:
+//
+//	etlgen -category small -suite 3 -seed 7 -dir out/ -data datadir/
+//	etlrun -data datadir out/small-shared-01.etl out/small-shared-02.etl out/small-shared-03.etl
 package main
 
 import (
@@ -42,6 +50,7 @@ func run() error {
 		dir      = flag.String("dir", ".", "output directory")
 		dataDir  = flag.String("data", "", "also write each scenario's source and lookup rows as <dir>/<name>.csv for etlrun")
 		metrics  = flag.String("metrics", "", "write a JSON metrics snapshot of the generation run here")
+		suite    = flag.Int("suite", 0, "emit this many workflows sharing their extract/clean prefix (overrides -n)")
 	)
 	flag.Parse()
 
@@ -60,7 +69,15 @@ func run() error {
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
 		return err
 	}
-	scenarios, err := generator.Suite(cat, *n, *seed)
+	var scenarios []*templates.Scenario
+	var err error
+	stem := *category
+	if *suite > 0 {
+		scenarios, err = generator.SharedSuite(cat, *suite, *seed)
+		stem = *category + "-shared"
+	} else {
+		scenarios, err = generator.Suite(cat, *n, *seed)
+	}
 	if err != nil {
 		return err
 	}
@@ -73,7 +90,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		name := filepath.Join(*dir, fmt.Sprintf("%s-%02d.etl", *category, i+1))
+		name := filepath.Join(*dir, fmt.Sprintf("%s-%02d.etl", stem, i+1))
 		if err := os.WriteFile(name, []byte(text), 0o644); err != nil {
 			return err
 		}
@@ -81,7 +98,9 @@ func run() error {
 			// Scenarios reuse recordset names (SRC1, SKLOOKUP, ...) with
 			// per-scenario schemas, so each workflow gets its own data
 			// directory: etlrun -in small-01.etl -data <datadir>/small-01.
-			sub := filepath.Join(*dataDir, fmt.Sprintf("%s-%02d", *category, i+1))
+			// Suite members follow the same convention, which is exactly
+			// what etlrun's suite mode resolves per workflow basename.
+			sub := filepath.Join(*dataDir, fmt.Sprintf("%s-%02d", stem, i+1))
 			if err := writeData(sub, sc); err != nil {
 				return err
 			}

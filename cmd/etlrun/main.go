@@ -14,11 +14,26 @@
 //	       [-trace-out trace-events.json] [-cpuprofile cpu.pprof]
 //	       [-debug-addr localhost:6060] [-progress 1s]
 //
+// Passing several workflow files (positionally, or one via -in plus the
+// rest positionally) switches to suite mode: the workflows execute as one
+// job through the shared-work scheduler, which detects upstream closures
+// the workflows have in common and computes each exactly once through a
+// content-addressed intermediate-result cache. Each workflow binds its
+// recordsets under <data-dir>/<workflow-basename>/ when that directory
+// exists, and under <data-dir> directly otherwise:
+//
+//	etlrun -data ./data [-suite-workers N] [-shared-cache BYTES]
+//	       [-shared-spill DIR] load1.etl load2.etl load3.etl
+//
+// Suite mode is execution-only: -optimize, -checkpoint, -impact, -lint,
+// -explain and -calibrate apply to single-workflow runs.
+//
 // Flag vocabulary (shared across etlrun, etlopt and etlbench): -workers
 // controls optimizer search parallelism (goroutines expanding the state
 // space), while -partitions controls engine data parallelism (how many
 // ways each recordset is split in -mode parallel). They are independent
-// knobs for independent phases.
+// knobs for independent phases; -suite-workers is a third, bounding how
+// many workflows and shared stages run concurrently in suite mode.
 package main
 
 import (
@@ -72,12 +87,37 @@ func run() error {
 		retries    = flag.Int("retries", 6, "per-node attempt budget for retrying injected transient faults (with -faults)")
 		traceOut   = flag.String("trace-out", "", "write the run's span tree as Chrome/Perfetto trace-event JSON here")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile here; search workers and engine partitions are labeled")
+		suiteWork  = flag.Int("suite-workers", 0, "suite mode: concurrent shared stages and workflows (0 = GOMAXPROCS)")
+		sharedCap  = flag.Int64("shared-cache", -1, "suite mode: shared intermediate cache budget in bytes (-1 = unbounded, 0 = no retention)")
+		sharedSpil = flag.String("shared-spill", "", "suite mode: spill evicted shared intermediates to CSV files in this directory")
 	)
 	flag.Parse()
-	if *in == "" {
-		flag.Usage()
-		return fmt.Errorf("missing -in")
+	files := flag.Args()
+	if *in != "" {
+		files = append([]string{*in}, files...)
 	}
+	if len(files) == 0 {
+		flag.Usage()
+		return fmt.Errorf("missing workflow file (-in or positional)")
+	}
+	if len(files) > 1 {
+		for flagName, set := range map[string]bool{
+			"-optimize": *optimize != "", "-checkpoint": *checkpoint != "",
+			"-impact": *impact != "", "-lint": *lintOnly,
+			"-explain": *explain, "-calibrate": *calibrate,
+		} {
+			if set {
+				return fmt.Errorf("%s applies to single-workflow runs, not suites", flagName)
+			}
+		}
+		return runSuite(files, suiteFlags{
+			dataDir: *dataDir, mode: *mode, partitions: *partitions,
+			workers: *suiteWork, cacheBytes: *sharedCap, spillDir: *sharedSpil,
+			faults: *faults, retries: *retries,
+			metrics: *metrics, journal: *journal,
+		})
+	}
+	*in = files[0]
 	// An interrupt cancels the optimizer and the engine; with -checkpoint,
 	// completed nodes stay staged so a re-run resumes.
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)

@@ -14,7 +14,8 @@ import (
 // This file is `etlvet obs`: the flight-recorder report. It reads a
 // -journal JSONL file, renders a human-readable run report (run header,
 // phase timeline, top-k slow nodes, selectivity drift, cache hit rates,
-// transition funnel, checkpoint and drop accounting) to stdout, and
+// shared-work cache activity, transition funnel, checkpoint and drop
+// accounting) to stdout, and
 // returns integrity problems as findings through the shared report
 // layer, so -format/-baseline/exit codes behave like every other
 // subcommand.
@@ -30,6 +31,7 @@ type obsStats struct {
 	nodes    map[string]*obsNode         // per-node execution aggregate
 	drift    map[string][2]float64       // node -> last {observed, modeled}
 	caches   map[string][2]int64         // cache -> {hits, total}
+	shared   map[string][2]int64         // shared-cache action -> {count, bytes}
 	funnel   map[string]map[string]int64 // transition op -> action -> count
 	chkpt    map[string]int64            // checkpoint action -> count
 	faults   map[string]int64            // "site (kind)" -> injected fault count
@@ -62,6 +64,7 @@ func aggregateJournal(events []obs.Event) *obsStats {
 		nodes:  map[string]*obsNode{},
 		drift:  map[string][2]float64{},
 		caches: map[string][2]int64{},
+		shared: map[string][2]int64{},
 		funnel: map[string]map[string]int64{},
 		chkpt:  map[string]int64{},
 		faults: map[string]int64{},
@@ -99,6 +102,16 @@ func aggregateJournal(events []obs.Event) *obsStats {
 			}
 			m[e.Action]++
 		case obs.EventCache:
+			if e.Op == obs.SharedCacheName {
+				// The shared-work cache journals richer events (per-action
+				// byte counts), so it gets its own aggregate instead of the
+				// plain hit/total bucket.
+				s := st.shared[e.Action]
+				s[0]++
+				s[1] += e.Rows
+				st.shared[e.Action] = s
+				break
+			}
 			c := st.caches[e.Op]
 			if e.Action == "hit" {
 				c[0]++
@@ -168,6 +181,14 @@ func (st *obsStats) auditObs(path string) []analysis.Finding {
 		}
 		if st.summary.Dropped > 0 {
 			report(analysis.Advice, "%d event(s) dropped under buffer pressure (the journal is lossy by design; totals below are partial)", st.summary.Dropped)
+		}
+	}
+	if len(st.shared) > 0 {
+		if hits, lookups := st.shared["hit"][0], st.shared["lookup"][0]; hits > lookups {
+			report(analysis.Warning, "shared cache journaled %d hits but only %d lookups — the accounting is corrupt", hits, lookups)
+		}
+		if ev, ad := st.shared["evict"][1], st.shared["admit"][1]; ev > ad {
+			report(analysis.Warning, "shared cache eviction freed %d bytes but admission only recorded %d", ev, ad)
 		}
 	}
 	seen := map[int64]bool{}
@@ -256,6 +277,18 @@ func renderObsReport(w io.Writer, path string, topK int) ([]analysis.Finding, er
 			t.AddRow(name, c[0], c[1], fmt.Sprintf("%.1f%%", 100*rate))
 		}
 		fmt.Fprint(w, t.String())
+	}
+
+	if len(st.shared) > 0 {
+		fmt.Fprintln(w, "\nshared cache activity:")
+		t := stats.NewTable("action", "count", "bytes")
+		for _, action := range []string{"lookup", "hit", "miss", "admit", "evict", "spill"} {
+			if s, ok := st.shared[action]; ok {
+				t.AddRow(action, s[0], s[1])
+			}
+		}
+		fmt.Fprint(w, t.String())
+		fmt.Fprintf(w, "  %d byte(s) of recomputation saved (served from the shared cache)\n", st.shared["hit"][1])
 	}
 
 	if len(st.nodes) > 0 {

@@ -42,6 +42,13 @@ func writeObsJournal(t *testing.T) string {
 	j.Emit(obs.BatchEvent("filter", 0, 20))
 	j.Emit(obs.ExchangeEvent("join", 37))
 	j.Emit(obs.CheckpointEvent("filter", "staged", 40))
+	j.Emit(obs.SharedCacheEvent("lookup", 0))
+	j.Emit(obs.SharedCacheEvent("miss", 0))
+	j.Emit(obs.SharedCacheEvent("admit", 640))
+	j.Emit(obs.SharedCacheEvent("lookup", 0))
+	j.Emit(obs.SharedCacheEvent("hit", 640))
+	j.Emit(obs.SharedCacheEvent("spill", 640))
+	j.Emit(obs.SharedCacheEvent("evict", 640))
 	j.Emit(obs.FaultEvent("filter", 1, "emit", "transient"))
 	j.Emit(obs.FaultEvent("join", 0, "exchange", "transient"))
 	j.Emit(obs.RetryEvent("filter", 2, 0.002, "fault: injected transient fault"))
@@ -73,6 +80,8 @@ func TestObsReportSections(t *testing.T) {
 		"SWA",
 		"cache hit rates:",
 		"33.3%",
+		"shared cache activity:",
+		"640 byte(s) of recomputation saved",
 		"slow node(s) of 3",
 		"filter",
 		"selectivity drift (observed vs modeled)",
@@ -192,6 +201,15 @@ func TestObsAuditFindings(t *testing.T) {
 			`{"seq":1,"t":"fault","off":0.1,"node":"x","part":0}` + "\n" +
 				`{"seq":2,"t":"summary","off":0.2,"events":1}` + "\n",
 			"fault event seq 1 lacks site/kind attribution", 1},
+		{"shared-hits-exceed-lookups",
+			`{"seq":1,"t":"cache","off":0.1,"op":"shared","action":"hit","rows":64}` + "\n" +
+				`{"seq":2,"t":"summary","off":0.2,"events":1}` + "\n",
+			"shared cache journaled 1 hits but only 0 lookups", 1},
+		{"shared-evict-exceeds-admit",
+			`{"seq":1,"t":"cache","off":0.1,"op":"shared","action":"lookup"}` + "\n" +
+				`{"seq":2,"t":"cache","off":0.2,"op":"shared","action":"evict","rows":100}` + "\n" +
+				`{"seq":3,"t":"summary","off":0.3,"events":2}` + "\n",
+			"shared cache eviction freed 100 bytes but admission only recorded 0", 1},
 		{"retry-bad-attempt",
 			`{"seq":1,"t":"retry","off":0.1,"node":"x","attempt":1}` + "\n" +
 				`{"seq":2,"t":"summary","off":0.2,"events":1}` + "\n",

@@ -1,0 +1,103 @@
+package data
+
+import (
+	"testing"
+	"time"
+)
+
+func digestRows() Rows {
+	return Rows{
+		{NewInt(1), NewString("alpha"), NewFloat(10.5)},
+		{NewInt(2), NewString("beta"), Null},
+		{NewInt(3), NewString(""), NewDate(2004, time.March, 15)},
+	}
+}
+
+func TestDigestDeterministic(t *testing.T) {
+	a, b := digestRows(), digestRows()
+	if a.Digest() != b.Digest() {
+		t.Fatalf("equal rows digest differently: %x vs %x", a.Digest(), b.Digest())
+	}
+}
+
+func TestDigestOrderSensitive(t *testing.T) {
+	a := digestRows()
+	b := digestRows()
+	b[0], b[1] = b[1], b[0]
+	if a.Digest() == b.Digest() {
+		t.Fatal("row order did not change the digest")
+	}
+}
+
+func TestDigestTypeSensitive(t *testing.T) {
+	cases := []struct{ a, b Value }{
+		{NewInt(7), NewFloat(7)},
+		{NewInt(7), NewString("7")},
+		{NewString("NULL"), Null},
+		{NewBool(true), NewInt(1)},
+		{NewDateFromDays(1), NewInt(1)},
+	}
+	for _, c := range cases {
+		ra := Rows{{c.a}}
+		rb := Rows{{c.b}}
+		if ra.Digest() == rb.Digest() {
+			t.Errorf("%s and %s digest equal", c.a, c.b)
+		}
+	}
+}
+
+func TestDigestBoundaryShifts(t *testing.T) {
+	// Value boundaries must matter: ("ab","c") vs ("a","bc"), and a
+	// trailing empty string vs nothing.
+	a := Rows{{NewString("ab"), NewString("c")}}
+	b := Rows{{NewString("a"), NewString("bc")}}
+	if a.Digest() == b.Digest() {
+		t.Fatal("string boundary shift digests equal")
+	}
+	c := Rows{{NewString("x")}}
+	d := Rows{{NewString("x"), NewString("")}}
+	if c.Digest() == d.Digest() {
+		t.Fatal("trailing empty value digests equal")
+	}
+	// Record boundaries must matter too: one two-value record vs two
+	// one-value records.
+	e := Rows{{NewInt(1), NewInt(2)}}
+	f := Rows{{NewInt(1)}, {NewInt(2)}}
+	if e.Digest() == f.Digest() {
+		t.Fatal("record split digests equal")
+	}
+}
+
+func TestDigestEmpty(t *testing.T) {
+	if Rows(nil).Digest() != (Rows{}).Digest() {
+		t.Fatal("nil and empty rows digest differently")
+	}
+	if Rows(nil).Digest() == digestRows().Digest() {
+		t.Fatal("empty digest collides with data digest")
+	}
+}
+
+func TestRecordsetDigest(t *testing.T) {
+	schema := Schema{"KEY", "NAME", "V1"}
+	a := NewMemoryRecordset("A", schema).MustLoad(digestRows())
+	b := NewMemoryRecordset("B", schema).MustLoad(digestRows())
+	da, err := RecordsetDigest(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := RecordsetDigest(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if da != db {
+		t.Fatal("same schema and contents, different digest")
+	}
+	c := NewMemoryRecordset("C", Schema{"KEY", "NAME", "V2"}).MustLoad(digestRows())
+	dc, err := RecordsetDigest(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc == da {
+		t.Fatal("schema change did not change the digest")
+	}
+}

@@ -228,10 +228,16 @@ func VerifyEmpirical(g1, g2 *workflow.Graph, bindings map[string]data.Recordset)
 }
 
 // identicalDiff describes the first divergence between two row slices
-// under bit-identity (order-sensitive), or "" when identical.
+// under bit-identity (order-sensitive), or "" when identical. Both slices
+// come straight from in-process engine runs, so the canonical typed digest
+// is sound here: equal digests prove identity in one pass, and the per-row
+// key scan only runs to describe a divergence.
 func identicalDiff(a, b data.Rows) string {
 	if len(a) != len(b) {
 		return fmt.Sprintf("%d vs %d rows", len(a), len(b))
+	}
+	if a.Digest() == b.Digest() {
+		return ""
 	}
 	for i := range a {
 		if a[i].Key() != b[i].Key() {

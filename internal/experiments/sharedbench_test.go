@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"etlopt/internal/generator"
+)
+
+// TestSharedBench runs the shared-work baseline on a reduced suite: every
+// member must come back bit-identical to its independent run, sharing must
+// actually remove node executions and serve cache bytes, and the summary
+// must render.
+func TestSharedBench(t *testing.T) {
+	cfg := SharedConfig{
+		Seed: 5,
+		Counts: map[generator.Category]int{
+			generator.Small: 2,
+		},
+		SuiteSize: 2,
+		DataRows:  300,
+	}
+	rep, err := SharedBench(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AllIdentical {
+		t.Error("suite runs not bit-identical to independent runs")
+	}
+	if rep.Suites != 2 || len(rep.Runs) != 2 {
+		t.Fatalf("suites = %d, runs = %d, want 2", rep.Suites, len(rep.Runs))
+	}
+	if rep.NodesExecuted >= rep.NodesIndependent {
+		t.Errorf("sharing saved nothing: executed %d of %d nodes",
+			rep.NodesExecuted, rep.NodesIndependent)
+	}
+	if rep.RecomputationSavedBytes <= 0 {
+		t.Errorf("recomputation_saved_bytes = %d, want > 0", rep.RecomputationSavedBytes)
+	}
+	for _, run := range rep.Runs {
+		if run.SharedStages == 0 || run.TargetRows <= 0 || run.SharedSeconds <= 0 {
+			t.Errorf("%s #%d: empty measurement %+v", run.Category, run.Index, run)
+		}
+	}
+	var b strings.Builder
+	rep.Summary(&b)
+	for _, want := range []string{"2 suites", "bit-identical", "recomputation saved"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("summary missing %q:\n%s", want, b.String())
+		}
+	}
+}

@@ -2,6 +2,7 @@ package generator
 
 import (
 	"fmt"
+	"math/rand"
 
 	"etlopt/internal/algebra"
 	"etlopt/internal/data"
@@ -74,7 +75,12 @@ func (b *builder) build() (*templates.Scenario, error) {
 		cur = u
 	}
 
-	// Post-union pipeline.
+	// Post-union pipeline. With a shared-prefix seed, everything up to
+	// here came from the prefix rng; reseed so each suite member's
+	// post-union pipeline diverges while the prefixes stay identical.
+	if b.cfg.PrefixSeed != 0 {
+		b.rng = rand.New(rand.NewSource(b.cfg.Seed))
+	}
 	cur, err := b.buildPostUnion(cur, sc)
 	if err != nil {
 		return nil, err

@@ -82,6 +82,14 @@ type Config struct {
 	// while the selective post-union filters still leave the optimizer
 	// plenty to gain.
 	Chained bool
+	// PrefixSeed, when non-zero, seeds the extract/clean prefix (branch
+	// sources, branch pipelines, homologous tails and the union tree —
+	// including the generated source data) separately from Seed, which
+	// then drives only the post-union pipeline. Workflows generated with
+	// equal PrefixSeed and differing Seeds share their prefix exactly:
+	// the multi-workflow shape a load window exhibits, where fleets of
+	// flows read the same extracts and diverge downstream.
+	PrefixSeed int64
 }
 
 // CategoryConfig returns the generation parameters used for the paper's
@@ -123,7 +131,11 @@ func Generate(cfg Config) (*templates.Scenario, error) {
 	if cfg.SourceRowsHint[0] <= 0 {
 		cfg.SourceRowsHint = [2]float64{10_000, 100_000}
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	seed := cfg.Seed
+	if cfg.PrefixSeed != 0 {
+		seed = cfg.PrefixSeed
+	}
+	rng := rand.New(rand.NewSource(seed))
 	b := &builder{cfg: cfg, rng: rng, g: workflow.NewGraph()}
 	return b.build()
 }

@@ -131,6 +131,20 @@ func CacheEvent(cache string, hit bool) Event {
 	return Event{T: EventCache, Op: cache, Action: action}
 }
 
+// SharedCacheName is the Op under which the shared-work suite scheduler's
+// intermediate-result cache journals its activity. Consumers (etlvet obs)
+// aggregate these events separately from plain hit/miss caches because
+// they carry byte counts and extra actions.
+const SharedCacheName = "shared"
+
+// SharedCacheEvent records shared intermediate-result cache activity.
+// Action is one of "lookup", "hit", "miss", "admit", "evict" or "spill";
+// Rows carries the byte size of the entry involved (0 for lookup/miss,
+// where no entry exists yet).
+func SharedCacheEvent(action string, bytes int64) Event {
+	return Event{T: EventCache, Op: SharedCacheName, Action: action, Rows: bytes}
+}
+
 // NodeEvent records one executed node with its output size and duration.
 func NodeEvent(node string, rows int, sec float64) Event {
 	return Event{T: EventNode, Node: node, Rows: int64(rows), Sec: sec}

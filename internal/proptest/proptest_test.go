@@ -177,6 +177,75 @@ func TestFaultRecoveryEquivalence(t *testing.T) {
 	t.Logf("checked %d generated workflows at P=%v", total, partitions)
 }
 
+// TestSharedRunEquivalence is the metamorphic guard for the shared-work
+// suite scheduler: ~200 seeded shared-prefix suites, each run through
+// share.RunSuite across worker counts W ∈ {1, 4}, cache budgets
+// {unbounded, zero, tiny}, a zero-budget disk-spill configuration, and
+// partition counts P ∈ {1, 8}, asserting every member comes out
+// bit-identical to its own solo engine run — the scheduler, cache and
+// eviction policy must be observationally invisible. Under -race this also
+// exercises the stage scheduler's single-flight population and the cache's
+// locking against concurrent residual runs.
+func TestSharedRunEquivalence(t *testing.T) {
+	configs := []struct {
+		name    string
+		workers int
+		budget  int64
+		spill   bool
+	}{
+		{"serial-unbounded", 1, -1, false},
+		{"parallel-unbounded", 4, -1, false},
+		{"parallel-zero", 4, 0, false},
+		{"serial-zero-spill", 1, 0, true},
+		{"parallel-tiny", 4, 4096, false},
+		{"serial-tiny", 1, 4096, false},
+	}
+	counts := []struct {
+		cat generator.Category
+		n   int
+	}{
+		{generator.Small, 30},
+		{generator.Medium, 4},
+	}
+	if testing.Short() {
+		counts[0].n, counts[1].n = 4, 1
+	}
+	const suiteSize = 3
+	total := 0
+	for _, c := range counts {
+		for s := 0; s < c.n; s++ {
+			seed := propSeed + int64(c.cat)*104729 + int64(s)*7919
+			// Alternate the partition count by suite so both engine modes
+			// see every cache configuration.
+			partitions := 1
+			if s%2 == 1 {
+				partitions = 8
+			}
+			for _, cfg := range configs {
+				cfg, cat, seed, partitions := cfg, c.cat, seed, partitions
+				t.Run(fmt.Sprintf("%s-%02d-%s-P%d", cat, s+1, cfg.name, partitions), func(t *testing.T) {
+					t.Parallel()
+					// Each subtest generates its own scenarios so parallel
+					// configurations never share graphs or bindings.
+					scs, err := generator.SharedSuite(cat, suiteSize, seed)
+					if err != nil {
+						t.Fatalf("generating shared %s suite: %v", cat, err)
+					}
+					spillDir := ""
+					if cfg.spill {
+						spillDir = t.TempDir()
+					}
+					if err := proptest.CheckSharedRunEquivalence(scs, cfg.workers, partitions, cfg.budget, spillDir); err != nil {
+						t.Fatalf("shared %s suite seed %d: %v", cat, seed, err)
+					}
+				})
+				total++
+			}
+		}
+	}
+	t.Logf("checked %d suite configurations of %d workflows each", total, suiteSize)
+}
+
 // TestSearchMutationLeak byte-compares every expanded parent's serialized
 // form before and after expansion across several search depths — the
 // aliasing regression the race detector can't catch, because no data race

@@ -13,9 +13,17 @@
 //	res, err := etl.Optimize(ctx, g, etl.WithAlgorithm(etl.HS))
 //	run, err := etl.Run(ctx, res.Best, bindings, etl.WithPartitions(8))
 //
+// A third entry point, RunSuite, executes several workflows as one job,
+// computing shared upstream work once through a content-addressed
+// intermediate-result cache:
+//
+//	suite, err := etl.RunSuite(ctx, workflows, etl.WithSharedCache(64<<20))
+//
 // Search options (WithAlgorithm, WithWorkers, …) configure Optimize;
 // engine options (WithMode, WithPartitions, WithBatchSize, WithFaultPlan,
-// WithRetry) configure Run; WithMetrics configures both. Passing an option to the entry point it
+// WithRetry) configure Run and RunSuite; suite options (WithSuiteWorkers,
+// WithSharedCache, WithSharedSpill) configure RunSuite; WithMetrics and
+// WithJournal configure all three. Passing an option to the entry point it
 // does not affect is harmless, so one option slice can serve a whole
 // pipeline. The legacy Options struct still works as an Option value.
 //
@@ -36,6 +44,7 @@ import (
 	"etlopt/internal/equiv"
 	"etlopt/internal/fault"
 	"etlopt/internal/obs"
+	"etlopt/internal/share"
 	"etlopt/internal/workflow"
 )
 
@@ -113,6 +122,21 @@ type (
 	// FaultKind distinguishes transient (retryable) from permanent
 	// injected faults.
 	FaultKind = fault.Kind
+	// SuiteWorkflow is one member of a RunSuite job: a named graph plus
+	// its recordset bindings.
+	SuiteWorkflow = share.Workflow
+	// SuiteResult reports a RunSuite job: per-workflow outcomes in input
+	// order plus suite-level sharing statistics.
+	SuiteResult = share.Result
+	// SuiteWorkflowResult is one workflow's outcome within a SuiteResult;
+	// exactly one of Result and Err is set.
+	SuiteWorkflowResult = share.WorkflowResult
+	// SuiteStats summarizes what sharing bought: stage and node accounting
+	// plus the shared cache's byte-level counters.
+	SuiteStats = share.Stats
+	// SharedCacheStats is the shared intermediate-result cache's cumulative
+	// accounting.
+	SharedCacheStats = share.CacheStats
 )
 
 // Fault kinds for WithFaultKind.
@@ -191,6 +215,11 @@ type settings struct {
 	profile    bool
 	faultPlan  *FaultPlan
 	retry      RetryPolicy
+
+	suiteWorkers int
+	cacheBytes   int64
+	cacheSet     bool
+	spillDir     string
 }
 
 // WithAlgorithm selects the optimization search (default HS). Optimize
@@ -298,6 +327,32 @@ func WithFaultPlan(p *FaultPlan) Option {
 // Permanent faults and context cancellation are never retried. Run only.
 func WithRetry(p RetryPolicy) Option {
 	return optionFunc(func(s *settings) { s.retry = p })
+}
+
+// WithSuiteWorkers bounds how many producer stages and residual workflows
+// RunSuite executes concurrently; 0 or less means GOMAXPROCS. Each stage
+// or workflow may still parallelize internally via WithPartitions. Results
+// are identical at every worker count. RunSuite only.
+func WithSuiteWorkers(n int) Option {
+	return optionFunc(func(s *settings) { s.suiteWorkers = n })
+}
+
+// WithSharedCache sets RunSuite's intermediate-result cache budget in
+// estimated bytes. The default is unbounded; 0 disables retention entirely
+// (every shared intermediate is recomputed per consumer — or reloaded from
+// disk under WithSharedSpill), and any budget in between evicts least
+// recently used intermediates first. Workflow outputs are bit-identical at
+// every budget. RunSuite only.
+func WithSharedCache(bytes int64) Option {
+	return optionFunc(func(s *settings) { s.cacheBytes = bytes; s.cacheSet = true })
+}
+
+// WithSharedSpill spills evicted shared intermediates to CSV files (the
+// checkpoint staging format) under dir instead of dropping them, trading
+// recomputation for disk reads when the cache budget is tight. RunSuite
+// only.
+func WithSharedSpill(dir string) Option {
+	return optionFunc(func(s *settings) { s.spillDir = dir })
 }
 
 // defaultMetrics is the package-level registry Metrics returns: the
@@ -469,6 +524,12 @@ func Optimize(ctx context.Context, g *Graph, opts ...Option) (*Result, error) {
 // options are accepted and ignored.
 func Run(ctx context.Context, g *Graph, bindings map[string]Recordset, opts ...Option) (*RunResult, error) {
 	s := newSettings(opts)
+	return engine.New(bindings, s.engineOptions()...).Run(ctx, g)
+}
+
+// engineOptions lowers the merged settings to the internal engine's option
+// vocabulary — the single translation Run and RunSuite share.
+func (s *settings) engineOptions() []engine.Option {
 	if s.partitions > 0 && !s.modeSet {
 		s.mode = Parallel
 	}
@@ -494,7 +555,41 @@ func Run(ctx context.Context, g *Graph, bindings map[string]Recordset, opts ...O
 	if s.retry.Enabled() {
 		eopts = append(eopts, engine.WithRetry(s.retry))
 	}
-	return engine.New(bindings, eopts...).Run(ctx, g)
+	return eopts
+}
+
+// RunSuite executes several workflows as one job: upstream closures that
+// several workflows (or several branches of one workflow) share are
+// detected by content — a fingerprint over each node's transformation
+// structure and its bound source data — materialized exactly once each
+// through a content-addressed cache, and every workflow runs as a residual
+// graph over those shared intermediates. Each member's Targets and
+// NodeRows are bit-identical to an individual Run at any suite-worker
+// count, cache budget and partition count.
+//
+// RunSuite returns an error only when planning fails (an invalid graph or
+// an unbound source). Execution failures are isolated per workflow in the
+// result: a failing shared stage fails every workflow consuming it — each
+// with the same error — and no others.
+//
+// WithSuiteWorkers, WithSharedCache and WithSharedSpill configure the
+// suite; engine options (WithMode, WithPartitions, WithFaultPlan, …) apply
+// to every stage and residual run; WithMetrics and WithJournal also
+// receive the shared cache's activity.
+func RunSuite(ctx context.Context, workflows []SuiteWorkflow, opts ...Option) (*SuiteResult, error) {
+	s := newSettings(opts)
+	cacheBytes := int64(-1)
+	if s.cacheSet {
+		cacheBytes = s.cacheBytes
+	}
+	return share.RunSuite(ctx, workflows, share.Options{
+		Workers:    s.suiteWorkers,
+		CacheBytes: cacheBytes,
+		SpillDir:   s.spillDir,
+		Engine:     s.engineOptions(),
+		Journal:    s.journal,
+		Metrics:    s.metrics,
+	})
 }
 
 // VerifyEmpirical executes both workflows on the same bound input and

@@ -1,0 +1,66 @@
+package etl_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"etlopt/internal/generator"
+	"etlopt/pkg/etl"
+)
+
+// TestRunSuiteFacade exercises the public suite surface end to end: a
+// shared-prefix suite run through RunSuite must reproduce each member's
+// individual Run bit-for-bit, while the journal and metrics record shared
+// cache activity.
+func TestRunSuiteFacade(t *testing.T) {
+	scs, err := generator.SharedSuite(generator.Small, 2, 2026)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wfs := make([]etl.SuiteWorkflow, len(scs))
+	solos := make([]*etl.RunResult, len(scs))
+	for i, sc := range scs {
+		wfs[i] = etl.SuiteWorkflow{Graph: sc.Graph, Bindings: sc.Bind()}
+		solos[i], err = etl.Run(context.Background(), sc.Graph, sc.Bind())
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	reg := etl.NewMetricsRegistry()
+	res, err := etl.RunSuite(context.Background(), wfs,
+		etl.WithSuiteWorkers(2),
+		etl.WithSharedCache(1<<20),
+		etl.WithSharedSpill(t.TempDir()),
+		etl.WithPartitions(2),
+		etl.WithMetrics(reg),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, wr := range res.Workflows {
+		if wr.Err != nil {
+			t.Fatalf("workflow %d: %v", i, wr.Err)
+		}
+		if !reflect.DeepEqual(wr.Result.Targets, solos[i].Targets) {
+			t.Fatalf("workflow %d: suite targets differ from solo run", i)
+		}
+		if !reflect.DeepEqual(wr.Result.NodeRows, solos[i].NodeRows) {
+			t.Fatalf("workflow %d: suite NodeRows differ from solo run", i)
+		}
+	}
+	if res.Stats.Cache.Lookups == 0 {
+		t.Fatal("suite run recorded no cache lookups")
+	}
+	snap := reg.Snapshot()
+	found := false
+	for _, c := range snap.Counters {
+		if c.Series == "shared_cache_lookups_total" && c.Value > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("metrics registry missing shared_cache_lookups_total")
+	}
+}
